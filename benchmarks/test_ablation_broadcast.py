@@ -1,0 +1,39 @@
+"""Ablation: broadcast copy sharing on bused machines.
+
+DESIGN.md item 5: with sharing disabled, every consuming cluster gets its
+own copy operation (one bus slot + read port each), multiplying copy
+resource pressure.  Expected: fewer loops match the unified II and total
+copies rise.
+"""
+
+import pytest
+
+from repro.analysis import (
+    deviation_table,
+    experiment_summary,
+    run_variant_comparison,
+)
+from repro.core import HEURISTIC_ITERATIVE, NO_BROADCAST_SHARING
+from repro.machine import four_cluster_gp
+
+from conftest import print_report
+
+
+def test_ablation_broadcast_sharing(benchmark, suite, baseline):
+    machine = four_cluster_gp()
+
+    def run():
+        return run_variant_comparison(
+            suite, machine, [NO_BROADCAST_SHARING, HEURISTIC_ITERATIVE],
+            baseline=baseline,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Ablation — broadcast copy sharing (4 clusters x 4 GP)",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    without, full = results
+    assert full.match_percentage >= without.match_percentage - 2.0

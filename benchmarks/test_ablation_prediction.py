@@ -1,0 +1,39 @@
+"""Ablation: copy prediction (PCR/MRC shading) inside the full algorithm.
+
+DESIGN.md item 3: disabling the line-6 selection (predicted copy requests
+vs. reservable room) while keeping SCC affinity, copy minimization, free
+space, and iteration.  Expected: prediction helps most where ports are
+scarce (the paper's Observation One scenario).
+"""
+
+import pytest
+
+from repro.analysis import (
+    deviation_table,
+    experiment_summary,
+    run_variant_comparison,
+)
+from repro.core import HEURISTIC_ITERATIVE, NO_PREDICTION
+from repro.machine import four_cluster_gp
+
+from conftest import print_report
+
+
+def test_ablation_copy_prediction(benchmark, suite, baseline):
+    machine = four_cluster_gp(ports=1)  # scarce ports stress prediction
+
+    def run():
+        return run_variant_comparison(
+            suite, machine, [NO_PREDICTION, HEURISTIC_ITERATIVE],
+            baseline=baseline,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Ablation — PCR/MRC copy prediction (4 clusters, 1 port)",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    without, full = results
+    assert full.match_percentage >= without.match_percentage - 2.0

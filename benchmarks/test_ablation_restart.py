@@ -1,0 +1,43 @@
+"""Ablation: fresh re-assignment at each larger II (Figure 5 note).
+
+The paper argues a *new* assignment at II+1 beats reusing the old one
+because more slack allows fewer copies.  We quantify the first half of
+that claim: copy counts of successful assignments shrink as II grows.
+"""
+
+import pytest
+
+from repro.core import assign_clusters
+from repro.ddg import mii
+from repro.machine import two_cluster_gp
+
+from conftest import print_report
+
+
+def test_ablation_restart_copy_reduction(benchmark, suite):
+    machine = two_cluster_gp()
+
+    def run():
+        shrank, grew, total = 0, 0, 0
+        for ddg in suite:
+            base = mii(ddg, machine.unified_equivalent())
+            tight = assign_clusters(ddg, machine, base)
+            relaxed = assign_clusters(ddg, machine, base + 2)
+            if tight is None or relaxed is None:
+                continue
+            total += 1
+            if relaxed.copy_count < tight.copy_count:
+                shrank += 1
+            elif relaxed.copy_count > tight.copy_count:
+                grew += 1
+        return shrank, grew, total
+
+    shrank, grew, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Ablation — re-assignment at larger II",
+        f"loops where copies shrank at II+2: {shrank}/{total}\n"
+        f"loops where copies grew at II+2:   {grew}/{total}",
+    )
+
+    # The paper's rationale: a larger II generally needs fewer copies.
+    assert shrank >= grew

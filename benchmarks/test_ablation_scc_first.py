@@ -1,0 +1,40 @@
+"""Ablation: SCC-first node grouping (paper Section 4.1).
+
+With SCC priority disabled the SMS sweep still runs, but critical
+recurrences get neither first pick of the empty clusters nor cluster
+affinity in selection — the paper's Observation Two scenario (copies
+landing inside SCCs raise RecMII and therefore II).
+"""
+
+import pytest
+
+from repro.analysis import (
+    deviation_table,
+    experiment_summary,
+    run_variant_comparison,
+)
+from repro.core import HEURISTIC_ITERATIVE, NO_SCC_FIRST
+from repro.machine import two_cluster_gp
+
+from conftest import print_report
+
+
+def test_ablation_scc_first(benchmark, suite, baseline):
+    # 1-bus pressure makes SCC splits likelier when unprotected.
+    machine = two_cluster_gp(buses=1)
+
+    def run():
+        return run_variant_comparison(
+            suite, machine, [NO_SCC_FIRST, HEURISTIC_ITERATIVE],
+            baseline=baseline,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Ablation — SCC-first grouping (2 clusters, 1 bus)",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    without, full = results
+    assert full.match_percentage >= without.match_percentage - 2.0

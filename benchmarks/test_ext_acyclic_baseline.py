@@ -1,0 +1,78 @@
+"""Extension: modulo scheduling vs unroll + acyclic scheduling.
+
+The paper's Related Work argues that acyclic cluster/scheduling
+approaches (BUG [25], Desoli [26]) "do not apply as well" to loops even
+when unrolled, because they minimize schedule length rather than
+throughput, and that post-scheduling partitioning (Capitanio [3]) breaks
+critical recurrences.  This benchmark quantifies the claim on our suite:
+the acyclic baseline greedily assigns clusters for earliest completion,
+list-schedules the (optionally unrolled) body, then re-issues the fixed
+block as tightly as carried dependences and folded resources allow.
+"""
+
+import pytest
+
+from repro.baselines import bug_list_schedule
+from repro.core import compile_loop
+from repro.machine import two_cluster_gp
+from repro.workloads import unroll_ddg
+
+from conftest import print_report
+
+UNROLL_FACTORS = (1, 2, 4)
+
+
+def test_acyclic_baseline(benchmark, suite, baseline):
+    machine = two_cluster_gp()
+    sample = suite[: min(len(suite), 120)]
+
+    def run():
+        wins = {k: 0 for k in UNROLL_FACTORS}
+        ties = {k: 0 for k in UNROLL_FACTORS}
+        losses = {k: 0 for k in UNROLL_FACTORS}
+        total_ratio = {k: 0.0 for k in UNROLL_FACTORS}
+        for ddg in sample:
+            modulo_ii = compile_loop(ddg, machine).ii
+            for k in UNROLL_FACTORS:
+                unrolled = unroll_ddg(ddg, k) if k > 1 else ddg
+                acyclic = bug_list_schedule(
+                    unrolled, machine, unroll_factor=k
+                )
+                ratio = acyclic.effective_ii / modulo_ii
+                total_ratio[k] += ratio
+                if modulo_ii < acyclic.effective_ii - 1e-9:
+                    wins[k] += 1
+                elif modulo_ii <= acyclic.effective_ii + 1e-9:
+                    ties[k] += 1
+                else:
+                    losses[k] += 1
+        return wins, ties, losses, total_ratio, len(sample)
+
+    wins, ties, losses, total_ratio, n = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        f"{'unroll':>6} {'modulo wins':>12} {'ties':>6} {'losses':>7} "
+        f"{'mean acyclic/modulo II':>23}"
+    ]
+    for k in UNROLL_FACTORS:
+        lines.append(
+            f"{k:>6} {wins[k]:>12} {ties[k]:>6} {losses[k]:>7} "
+            f"{total_ratio[k] / n:>22.2f}x"
+        )
+    print_report(
+        "Extension — modulo scheduling vs unroll + acyclic baseline "
+        "(2 clusters x 4 GP)",
+        "\n".join(lines),
+    )
+
+    # The paper's claim: modulo scheduling dominates at every unroll
+    # level, and unrolling narrows but does not close the gap.  Deep
+    # unrolling wins isolated loops with *fractional* recurrence ratios
+    # (e.g. RecMII 5/4: the unrolled block sustains 1.25 cycles/iter
+    # where a single-iteration modulo kernel must round up to 2) — an
+    # effect orthogonal to clustering that modulo scheduling recovers by
+    # unrolling too; we don't, so allow a bounded loss count there.
+    for k in UNROLL_FACTORS:
+        assert losses[k] <= max(4, n * 0.15)
+        assert total_ratio[k] / n >= 1.0

@@ -1,0 +1,72 @@
+"""Extension: full-backend statistics over the kernel library.
+
+Not a paper artifact — quantifies the backend the paper's context
+assumes: code expansion factor of flat pipelined code (equal to the
+stage count), MVE unroll factors, per-cluster register pressure, and a
+full execution-validation sweep on the simulated clustered hardware.
+"""
+
+import pytest
+
+from repro.analysis.registers import mve_unroll_factor, register_pressure
+from repro.codegen import expand_pipeline
+from repro.core import compile_loop
+from repro.machine import four_cluster_fs
+from repro.regalloc import (
+    allocate_mve,
+    allocate_rotating,
+    verify_allocation,
+    verify_rotating,
+)
+from repro.sim import simulate_schedule
+from repro.workloads import all_kernels
+
+from conftest import print_report
+
+
+def test_backend_statistics(benchmark):
+    machine = four_cluster_fs()
+
+    def run():
+        rows = []
+        for loop in all_kernels():
+            result = compile_loop(loop, machine)
+            code = expand_pipeline(result.schedule)
+            allocation = allocate_mve(result.schedule)
+            assert verify_allocation(allocation) == []
+            rotating = allocate_rotating(result.schedule)
+            assert verify_rotating(rotating) == []
+            report = simulate_schedule(loop, result.schedule, 5)
+            assert report.ok, loop.name
+            rows.append((
+                loop.name,
+                result.ii,
+                result.schedule.stage_count,
+                code.expansion_factor(len(result.annotated.ddg)),
+                mve_unroll_factor(result.schedule),
+                register_pressure(result.schedule).total_max_live,
+                allocation.total_registers,
+                rotating.total_registers,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = (
+        f"{'kernel':<26} {'II':>3} {'stg':>4} {'expand':>7} "
+        f"{'MVE':>4} {'MaxLive':>8} {'regs':>5} {'rot':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, ii, stages, expansion, mve, live, regs, rot in rows:
+        lines.append(
+            f"{name:<26} {ii:>3} {stages:>4} {expansion:>7.1f} "
+            f"{mve:>4} {live:>8} {regs:>5} {rot:>4}"
+        )
+    print_report(
+        "Extension — backend statistics (4 clusters x 4 FS units)",
+        "\n".join(lines),
+    )
+
+    for name, ii, stages, expansion, mve, live, regs, rot in rows:
+        assert expansion == stages  # flat-code expansion law
+        assert regs >= live  # MaxLive is a lower bound
+        assert rot >= live  # ... for rotating files too

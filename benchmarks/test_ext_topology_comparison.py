@@ -1,0 +1,63 @@
+"""Extension: interconnect topology comparison at equal cluster budget.
+
+Four clusters of 3 FS units each, three fabrics: broadcast buses, the
+paper's 2x2 grid, and a bidirectional ring.  The richer the fabric, the
+more loops match the unified II; the grid and ring trail the bus but
+stay mostly within one cycle — quantifying what the paper's Section 6
+grid result suggests.
+"""
+
+import pytest
+
+from repro.analysis import (
+    cumulative_table,
+    deviation_table,
+    experiment_summary,
+    run_sweep,
+)
+from repro.machine import four_cluster_grid, ring_machine
+from repro.machine.machine import Machine
+from repro.machine.cluster import ClusterSpec
+from repro.machine.interconnect import BusInterconnect
+from repro.machine.units import PAPER_GRID_MIX
+
+from conftest import print_report
+
+
+def _bused_3fs() -> Machine:
+    clusters = tuple(
+        ClusterSpec(index=i, units=PAPER_GRID_MIX,
+                    read_ports=2, write_ports=2)
+        for i in range(4)
+    )
+    return Machine(
+        clusters=clusters,
+        interconnect=BusInterconnect(bus_count=4),
+        name="4cl-3fs-bused",
+    )
+
+
+def test_topology_comparison(benchmark, suite, baseline):
+    machines = [
+        _bused_3fs(),
+        four_cluster_grid(),
+        ring_machine(4, PAPER_GRID_MIX),
+    ]
+    labels = ["4 buses", "2x2 grid", "ring"]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Extension — fabric comparison, 4 clusters x 3 FS units",
+        deviation_table(results),
+        cumulative_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    bus, grid, ring = results
+    assert bus.match_percentage >= grid.match_percentage - 2.0
+    # Point-to-point fabrics still keep nearly everything within 1 cycle.
+    assert grid.histogram.percentage_at_most(1) >= 90.0
+    assert ring.histogram.percentage_at_most(1) >= 85.0

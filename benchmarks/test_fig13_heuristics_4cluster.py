@@ -1,0 +1,46 @@
+"""Figure 13: comparing assignment heuristics on the 4-cluster machine.
+
+Paper setup: 4 clusters x 4 GP units, 4 buses, 2 read/write ports.  Same
+four variants as Figure 12; the gap between the full algorithm and the
+ablated ones widens with more clusters.
+"""
+
+import pytest
+
+from repro.analysis import (
+    deviation_table,
+    experiment_summary,
+    match_bar_chart,
+    run_variant_comparison,
+)
+from repro.core import ALL_VARIANTS
+from repro.machine import four_cluster_gp
+
+from conftest import print_report
+
+
+def test_fig13_heuristic_comparison(benchmark, suite, baseline):
+    machine = four_cluster_gp()
+
+    def run():
+        return run_variant_comparison(
+            suite, machine, ALL_VARIANTS, baseline=baseline
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Figure 13 — heuristics, 4 clusters x 4 GP, 4 buses, 2 ports",
+        deviation_table(results),
+        match_bar_chart(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    by_name = {result.config_name: result for result in results}
+    full = by_name["Heuristic Iterative"]
+    assert full.match_percentage == max(
+        r.match_percentage for r in results
+    )
+    assert full.match_percentage >= 85.0
+    # Removing iteration hurts (the paper's 2-11% drop).
+    assert (by_name["Heuristic"].match_percentage
+            <= full.match_percentage)

@@ -1,0 +1,34 @@
+"""Figure 14: varying the number of buses on the 2-cluster GP machine.
+
+Paper: 1 bus impacts ~4 % of loops; 2 buses suffice; 4 buses add nothing.
+"""
+
+import pytest
+
+from repro.analysis import deviation_table, experiment_summary, run_sweep
+from repro.machine import two_cluster_gp
+
+from conftest import print_report
+
+BUS_COUNTS = (1, 2, 4)
+
+
+def test_fig14_bus_sweep(benchmark, suite, baseline):
+    machines = [two_cluster_gp(buses=b) for b in BUS_COUNTS]
+    labels = [f"{b} bus(es)" for b in BUS_COUNTS]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Figure 14 — bus sweep, 2 clusters x 4 GP units, 1 port",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    match = [result.match_percentage for result in results]
+    # More buses never hurt; 2 buses already close the gap (paper shape).
+    assert match[0] <= match[1] + 1e-9
+    assert match[1] <= match[2] + 1e-9
+    assert match[2] - match[1] <= 3.0  # 4 buses ~ no extra benefit

@@ -1,0 +1,35 @@
+"""Figure 15: varying read/write ports on the 2-cluster GP machine.
+
+Paper: one port per cluster suffices; a second port improves only 0.1 %
+of loops.
+"""
+
+import pytest
+
+from repro.analysis import deviation_table, experiment_summary, run_sweep
+from repro.machine import two_cluster_gp
+
+from conftest import print_report
+
+PORT_COUNTS = (1, 2)
+
+
+def test_fig15_port_sweep(benchmark, suite, baseline):
+    machines = [two_cluster_gp(ports=p) for p in PORT_COUNTS]
+    labels = [f"{p} port(s)" for p in PORT_COUNTS]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Figure 15 — port sweep, 2 clusters x 4 GP units, 2 buses",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    one_port, two_ports = results
+    assert one_port.match_percentage <= two_ports.match_percentage + 1e-9
+    # The second port is marginal (paper: 0.1 %).
+    assert (two_ports.match_percentage
+            - one_port.match_percentage) <= 3.0

@@ -1,0 +1,34 @@
+"""Figure 16: varying the number of buses on the 4-cluster GP machine.
+
+Paper: dropping from 4 to 2 buses hurts >10 % of loops; going from 4 to 8
+adds only ~3 %.
+"""
+
+import pytest
+
+from repro.analysis import deviation_table, experiment_summary, run_sweep
+from repro.machine import four_cluster_gp
+
+from conftest import print_report
+
+BUS_COUNTS = (2, 4, 8)
+
+
+def test_fig16_bus_sweep(benchmark, suite, baseline):
+    machines = [four_cluster_gp(buses=b) for b in BUS_COUNTS]
+    labels = [f"{b} buses" for b in BUS_COUNTS]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Figure 16 — bus sweep, 4 clusters x 4 GP units, 2 ports",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    match = [result.match_percentage for result in results]
+    assert match[0] <= match[1] + 1e-9 <= match[2] + 2e-9
+    # Two buses hurt noticeably more than eight help (diminishing returns).
+    assert (match[1] - match[0]) >= (match[2] - match[1]) - 1.0

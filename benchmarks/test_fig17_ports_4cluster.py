@@ -1,0 +1,34 @@
+"""Figure 17: varying read/write ports on the 4-cluster GP machine.
+
+Paper: 1 port hurts ~12 % of loops; 2 ports is the sweet spot; 4 ports
+are of marginal value.
+"""
+
+import pytest
+
+from repro.analysis import deviation_table, experiment_summary, run_sweep
+from repro.machine import four_cluster_gp
+
+from conftest import print_report
+
+PORT_COUNTS = (1, 2, 4)
+
+
+def test_fig17_port_sweep(benchmark, suite, baseline):
+    machines = [four_cluster_gp(ports=p) for p in PORT_COUNTS]
+    labels = [f"{p} port(s)" for p in PORT_COUNTS]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Figure 17 — port sweep, 4 clusters x 4 GP units, 4 buses",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    match = [result.match_percentage for result in results]
+    assert match[0] <= match[1] + 1e-9 <= match[2] + 2e-9
+    # Going 2 -> 4 ports is marginal compared to 1 -> 2.
+    assert (match[1] - match[0]) >= (match[2] - match[1]) - 1.0

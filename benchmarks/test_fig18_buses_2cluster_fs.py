@@ -1,0 +1,33 @@
+"""Figure 18: bus sweep on the 2-cluster fully-specified machine.
+
+Paper: with 2 buses, ~95 % of loops match the unified machine's II; FS
+results closely track the GP results.
+"""
+
+import pytest
+
+from repro.analysis import deviation_table, experiment_summary, run_sweep
+from repro.machine import two_cluster_fs
+
+from conftest import print_report
+
+BUS_COUNTS = (1, 2, 4)
+
+
+def test_fig18_bus_sweep_fs(benchmark, suite, baseline):
+    machines = [two_cluster_fs(buses=b) for b in BUS_COUNTS]
+    labels = [f"{b} bus(es)" for b in BUS_COUNTS]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Figure 18 — bus sweep, 2 clusters x 4 FS units, 1 port",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    match = [result.match_percentage for result in results]
+    assert match[0] <= match[1] + 1e-9 <= match[2] + 2e-9
+    assert match[1] >= 85.0  # paper ballpark: ~95 %

@@ -1,0 +1,32 @@
+"""Figure 19: bus sweep on the 4-cluster fully-specified machine.
+
+Paper: with 4 buses and 2 ports, ~94 % of loops match the unified II.
+"""
+
+import pytest
+
+from repro.analysis import deviation_table, experiment_summary, run_sweep
+from repro.machine import four_cluster_fs
+
+from conftest import print_report
+
+BUS_COUNTS = (2, 4, 8)
+
+
+def test_fig19_bus_sweep_fs(benchmark, suite, baseline):
+    machines = [four_cluster_fs(buses=b) for b in BUS_COUNTS]
+    labels = [f"{b} buses" for b in BUS_COUNTS]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Figure 19 — bus sweep, 4 clusters x 4 FS units, 2 ports",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    match = [result.match_percentage for result in results]
+    assert match[0] <= match[1] + 1e-9 <= match[2] + 2e-9
+    assert match[1] >= 80.0  # paper ballpark: ~94 %

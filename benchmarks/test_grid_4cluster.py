@@ -1,0 +1,44 @@
+"""Section 6 grid result: the 2x2 point-to-point machine.
+
+Paper: 92 % of loops match the unified machine's II; 98 % deviate by at
+most one cycle — despite no broadcast, one fewer unit per cluster, and
+two-hop diagonals.
+"""
+
+import pytest
+
+from repro.analysis import (
+    cumulative_table,
+    deviation_table,
+    experiment_summary,
+    run_experiment,
+)
+from repro.machine import four_cluster_grid
+
+from conftest import print_report
+
+
+def test_grid_machine(benchmark, suite, baseline):
+    machine = four_cluster_grid()
+
+    def run():
+        return run_experiment(
+            suite, machine, label="4-cluster grid", baseline=baseline
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Grid — 4 clusters x 3 FS units, point-to-point square",
+        deviation_table([result]),
+        cumulative_table([result]),
+        experiment_summary(result),
+    )
+
+    # Paper shape: ~92 % match, ~98 % within one cycle.  Our synthetic
+    # population is more resource-tight than the original Fortran loops
+    # (more loops whose unified II exactly saturates a unit class, which
+    # no split over 3-unit clusters can match), so the exact-match rate
+    # lands lower (~74 % at full scale) while the within-one-cycle rate
+    # reproduces the paper's 98 %.  See EXPERIMENTS.md for the analysis.
+    assert result.match_percentage >= 65.0
+    assert result.histogram.percentage_at_most(1) >= 90.0

@@ -1,0 +1,41 @@
+"""Extension: heterogeneous clusters (paper Section 2.1 claim).
+
+The paper states the technique handles clusters that differ in their
+function units.  We compare a symmetric 4+4 split against an asymmetric
+6+2 split of the same 8-wide budget: both should hide most of the
+communication, with the asymmetric machine mildly behind (its narrow
+cluster forces more traffic toward the wide one).
+"""
+
+import pytest
+
+from repro.analysis import (
+    deviation_table,
+    experiment_summary,
+    run_sweep,
+)
+from repro.machine import heterogeneous_gp, two_cluster_gp
+
+from conftest import print_report
+
+
+def test_heterogeneous_split(benchmark, suite, baseline):
+    machines = [
+        two_cluster_gp(),                             # 4 + 4
+        heterogeneous_gp([6, 2], buses=2, ports=1),   # 6 + 2
+        heterogeneous_gp([5, 3], buses=2, ports=1),   # 5 + 3
+    ]
+    labels = ["4+4", "6+2", "5+3"]
+
+    def run():
+        return run_sweep(suite, machines, labels=labels, baseline=baseline)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Extension — heterogeneous 8-wide splits (2 buses, 1 port)",
+        deviation_table(results),
+        "\n".join(experiment_summary(result) for result in results),
+    )
+
+    for result in results:
+        assert result.match_percentage >= 70.0

@@ -1,0 +1,28 @@
+"""Table 1: statistics of the evaluation loop suite.
+
+Regenerates the paper's loop-population table; the full 1327-loop suite
+matches Table 1 within calibration tolerance (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.workloads import paper_suite, suite_statistics
+
+from conftest import bench_suite_size, print_report
+
+
+def test_table1_statistics(benchmark):
+    def run():
+        # Table 1 is a property of the full population, so always use
+        # paper scale here regardless of the quick-bench suite size.
+        loops = paper_suite(1327)
+        return suite_statistics(loops)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report("Table 1 — loop statistics", stats.format_table())
+
+    assert stats.n_loops == 1327
+    assert stats.nodes.average == pytest.approx(17.5, rel=0.10)
+    assert stats.sccs_per_loop.average == pytest.approx(0.4, rel=0.25)
+    assert stats.scc_nodes.average == pytest.approx(9.0, rel=0.25)
+    assert stats.edges.average == pytest.approx(22.5, rel=0.10)

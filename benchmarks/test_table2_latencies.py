@@ -1,0 +1,27 @@
+"""Table 2: operation latencies used by every machine model."""
+
+import pytest
+
+from repro.ddg import Opcode, all_opcode_info, latency_of
+
+from conftest import print_report
+
+PAPER_TABLE2 = {
+    Opcode.ALU: 1, Opcode.SHIFT: 1, Opcode.BRANCH: 1, Opcode.STORE: 1,
+    Opcode.FP_ADD: 1, Opcode.COPY: 1, Opcode.LOAD: 2, Opcode.FP_MULT: 3,
+    Opcode.FP_DIV: 9, Opcode.FP_SQRT: 9,
+}
+
+
+def test_table2_latencies(benchmark):
+    def run():
+        return {info.opcode: info.latency for info in all_opcode_info()}
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = ["Operation                                Latency",
+            "-" * 48]
+    for opcode in Opcode:
+        rows.append(f"{opcode.value:<40} {latencies[opcode]} cycle(s)")
+    print_report("Table 2 — operation latencies", "\n".join(rows))
+
+    assert latencies == PAPER_TABLE2

@@ -1,0 +1,37 @@
+"""Table 3: bus/port sweet spots for 2/4/6/8-cluster GP machines.
+
+Paper: (2 cl, 2 buses, 1 port) -> 99.7 %; (4, 4, 2) -> 97.5 %;
+(6, 6, 3) -> 96.5 %; (8, 7, 3) -> 99.5 % of loops match the unified II —
+roughly linear bus/port needs in the cluster count.
+"""
+
+import pytest
+
+from repro.analysis import run_experiment, table3_rows
+from repro.machine import TABLE3_CONFIGS, n_cluster_gp
+
+from conftest import print_report
+
+
+def test_table3_scaling(benchmark, suite, baseline):
+    def run():
+        entries = []
+        for clusters, buses, ports in TABLE3_CONFIGS:
+            machine = n_cluster_gp(clusters, buses, ports)
+            result = run_experiment(
+                suite, machine,
+                label=f"{clusters}cl", baseline=baseline,
+            )
+            entries.append(
+                (clusters, buses, ports, result.match_percentage)
+            )
+        return entries
+
+    entries = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report("Table 3 — bus/port resource comparisons",
+                 table3_rows(entries))
+
+    # Shape: every sweet-spot configuration hides communication for the
+    # overwhelming majority of loops (paper: 96.5-99.7 %).
+    for clusters, buses, ports, pct in entries:
+        assert pct >= 85.0, (clusters, buses, ports, pct)

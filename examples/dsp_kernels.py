@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""DSP kernels on a clustered VLIW — the paper's motivating scenario.
+
+Clustered VLIWs dominated the DSP space (TI C6x, Lx/ST200, HP/STM).
+This example software-pipelines a set of signal-processing kernels (FIR
+filter, FFT butterfly, complex multiply, EMA filter, Givens rotation)
+for the 4-cluster fully-specified machine, and shows how much of the
+inter-cluster communication the assignment algorithm hides.
+
+Run:  python examples/dsp_kernels.py
+"""
+
+from repro import compile_loop, four_cluster_fs
+from repro.ddg import mii
+from repro.workloads import build_kernel
+
+DSP_KERNELS = [
+    "fir_filter_4tap",
+    "butterfly_fft",
+    "complex_multiply",
+    "ema_filter",
+    "givens_rotation",
+    "stencil_3pt",
+    "table_lookup_interp",
+]
+
+
+def main() -> None:
+    machine = four_cluster_fs()
+    unified = machine.unified_equivalent()
+
+    print(f"Machine: {machine}")
+    print(f"Unified comparison machine: {unified}")
+    print()
+    header = (
+        f"{'kernel':<22} {'ops':>4} {'MII':>4} {'II(uni)':>8} "
+        f"{'II(clu)':>8} {'copies':>7} {'hidden?':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    matched = 0
+    for name in DSP_KERNELS:
+        loop = build_kernel(name)
+        clustered = compile_loop(loop, machine, verify=True)
+        baseline = compile_loop(loop, unified, verify=True)
+        hidden = "yes" if clustered.ii == baseline.ii else (
+            f"+{clustered.ii - baseline.ii}"
+        )
+        if clustered.ii == baseline.ii:
+            matched += 1
+        print(
+            f"{name:<22} {len(loop):>4} {mii(loop, unified):>4} "
+            f"{baseline.ii:>8} {clustered.ii:>8} "
+            f"{clustered.copy_count:>7} {hidden:>8}"
+        )
+
+    print("-" * len(header))
+    print(f"{matched}/{len(DSP_KERNELS)} kernels run at the unified "
+          f"machine's II — communication fully hidden.")
+    print()
+
+    # Show one kernel's pipelined schedule in full.
+    loop = build_kernel("butterfly_fft")
+    result = compile_loop(loop, machine, verify=True)
+    print(f"FFT butterfly kernel at II={result.ii} "
+          f"({result.schedule.stage_count} stages):")
+    print(result.schedule.format_kernel())
+
+
+if __name__ == "__main__":
+    main()

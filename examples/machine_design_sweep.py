@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Architect's workflow: how many buses and ports does a machine need?
+
+Reproduces the paper's design-space methodology (Figures 14-17) on a
+compact loop sample: sweep bus and port counts for 2- and 4-cluster GP
+machines, find the point of diminishing returns, and print a
+recommendation — the same analysis that yields the paper's Table 3.
+
+Run:  python examples/machine_design_sweep.py  [n_loops]
+"""
+
+import sys
+
+from repro.analysis import UnifiedBaseline, run_experiment
+from repro.machine import bused_machine
+from repro.machine.units import PAPER_GP_MIX
+from repro.workloads import paper_suite
+
+
+def sweep(loops, n_clusters, buses_options, ports_options, baseline):
+    """Match percentage for each (buses, ports) combination."""
+    table = {}
+    for buses in buses_options:
+        for ports in ports_options:
+            machine = bused_machine(n_clusters, PAPER_GP_MIX, buses, ports)
+            result = run_experiment(loops, machine, baseline=baseline)
+            table[(buses, ports)] = result.match_percentage
+    return table
+
+
+def print_grid(title, table, buses_options, ports_options):
+    print(title)
+    corner = "buses / ports"
+    header = f"{corner:>14}" + "".join(
+        f"{p:>9}" for p in ports_options
+    )
+    print(header)
+    for buses in buses_options:
+        row = f"{buses:>14}" + "".join(
+            f"{table[(buses, ports)]:>8.1f}%" for ports in ports_options
+        )
+        print(row)
+    print()
+
+
+def recommend(table, buses_options, ports_options, threshold=3.0):
+    """Smallest configuration within `threshold` percent of the best."""
+    best = max(table.values())
+    candidates = [
+        (buses * 2 + ports, buses, ports)
+        for buses in buses_options
+        for ports in ports_options
+        if table[(buses, ports)] >= best - threshold
+    ]
+    _, buses, ports = min(candidates)
+    return buses, ports
+
+
+def main() -> None:
+    n_loops = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    loops = paper_suite(n_loops)
+    baseline = UnifiedBaseline()
+    print(f"Sweeping over {n_loops} loops "
+          f"(pass a number to change, e.g. 1327 for paper scale)\n")
+
+    for n_clusters, buses_options, ports_options in (
+        (2, (1, 2, 4), (1, 2)),
+        (4, (2, 4, 8), (1, 2, 4)),
+    ):
+        table = sweep(
+            loops, n_clusters, buses_options, ports_options, baseline
+        )
+        print_grid(
+            f"{n_clusters}-cluster machine — % of loops matching the "
+            f"unified II:",
+            table, buses_options, ports_options,
+        )
+        buses, ports = recommend(table, buses_options, ports_options)
+        print(f"  -> recommended: {buses} buses, {ports} port(s) per "
+              f"cluster (paper Table 3: "
+              f"{'2 buses / 1 port' if n_clusters == 2 else '4 buses / 2 ports'})\n")
+
+
+if __name__ == "__main__":
+    main()

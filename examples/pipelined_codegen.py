@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""From loop to machine code: the full backend pipeline.
+
+Takes one kernel through every stage a production compiler would run on
+a clustered VLIW target:
+
+1. cluster assignment + modulo scheduling (the paper's two phases),
+2. stage scheduling to shrink register lifetimes,
+3. register allocation by modulo variable expansion,
+4. software-pipeline expansion into prologue / kernel / epilogue
+   (plus the predicated kernel-only alternative),
+5. cycle-accurate simulated execution checked against a sequential
+   reference interpreter.
+
+Run:  python examples/pipelined_codegen.py [kernel-name]
+"""
+
+import sys
+
+from repro import compile_loop, four_cluster_fs
+from repro.analysis.registers import (
+    format_pressure,
+    mve_unroll_factor,
+    register_pressure,
+)
+from repro.codegen import (
+    expand_pipeline,
+    format_kernel_only,
+    format_pipelined,
+)
+from repro.regalloc import (
+    allocate_mve,
+    allocate_rotating,
+    verify_allocation,
+)
+from repro.scheduling import stage_schedule
+from repro.sim import simulate_schedule
+from repro.workloads import build_kernel, kernel_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lk5_tridiag"
+    if name not in kernel_names():
+        raise SystemExit(f"unknown kernel {name!r}; try: {kernel_names()}")
+    loop = build_kernel(name)
+    machine = four_cluster_fs()
+
+    print(f"=== 1+2. assign + schedule: {name} on {machine} ===")
+    result = compile_loop(loop, machine, verify=True)
+    print(f"II = {result.ii}, {result.copy_count} copies, "
+          f"{result.schedule.stage_count} stages")
+    print()
+
+    print("=== 3. stage scheduling ===")
+    staged = stage_schedule(result.schedule)
+    print(f"lifetime sum {staged.lifetime_before} -> "
+          f"{staged.lifetime_after} cycles ({staged.moves} stage moves)")
+    schedule = staged.schedule
+    print(format_pressure(register_pressure(schedule)))
+    print()
+
+    print("=== 4. register allocation (modulo variable expansion) ===")
+    allocation = allocate_mve(schedule)
+    problems = verify_allocation(allocation)
+    print(f"unroll factor {allocation.unroll} "
+          f"(= {mve_unroll_factor(schedule)} from lifetime analysis)")
+    for cluster in sorted(allocation.registers_per_cluster):
+        print(f"  C{cluster}: {allocation.registers(cluster)} registers")
+    print(f"allocation check: "
+          f"{'OK' if not problems else problems[:3]}")
+    rotating = allocate_rotating(schedule)
+    print(f"rotating-file alternative (no unrolling): "
+          f"{rotating.total_registers} registers")
+    print()
+
+    print("=== 5. pipelined code ===")
+    code = expand_pipeline(schedule)
+    print(format_pipelined(code, schedule))
+    print()
+    print(f"flat code: {code.static_instruction_count} static slots "
+          f"(expansion x{code.expansion_factor(len(result.annotated.ddg)):.1f}"
+          f"), valid for trip counts >= {code.min_trip_count()}")
+    print()
+    print(format_kernel_only(schedule))
+    print()
+
+    print("=== 6. simulated execution vs sequential reference ===")
+    report = simulate_schedule(loop, schedule, n_iterations=8)
+    print(f"{report.checked_values} values over {report.n_iterations} "
+          f"iterations, {report.cycles} cycles: "
+          f"{'ALL MATCH' if report.ok else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one loop for a clustered VLIW machine.
+
+Builds the paper's introductory example (Section 3), runs the full
+two-phase process — cluster assignment, then traditional modulo
+scheduling — on the 2-cluster machine, and prints everything the
+assignment produced: cluster tags, inserted copies, and the final
+software-pipelined kernel.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Opcode, build_ddg, compile_loop, two_cluster_gp
+from repro.ddg import find_sccs, mii, rec_mii
+
+
+def main() -> None:
+    # The paper's Figure 6 loop: one recurrence (B -> C -> D -> B).
+    loop = build_ddg(
+        ops=[
+            ("a", Opcode.ALU),
+            ("b", Opcode.ALU),
+            ("c", Opcode.LOAD),   # the 2-cycle operation
+            ("d", Opcode.ALU),
+            ("e", Opcode.ALU),
+            ("f", Opcode.ALU),
+        ],
+        deps=[
+            ("a", "b", 0),
+            ("b", "c", 0),
+            ("c", "d", 0),
+            ("d", "b", 1),  # loop-carried: recurrence of distance 1
+            ("d", "e", 0),
+            ("e", "f", 0),
+        ],
+        name="intro-example",
+    )
+
+    machine = two_cluster_gp()  # 2 clusters x 4 GP units, 2 buses, 1 port
+    unified = machine.unified_equivalent()
+
+    print(f"Loop: {loop}")
+    print(f"RecMII = {rec_mii(loop)}   MII = {mii(loop, unified)}")
+    for scc in find_sccs(loop):
+        names = sorted(loop.node(n).name for n in scc.nodes)
+        print(f"SCC {scc.index}: {names} (RecMII {scc.rec_mii})")
+    print()
+
+    result = compile_loop(loop, machine, verify=True)
+    print(f"Machine: {machine}")
+    print(f"Final II = {result.ii} (unified-machine MII was {result.mii})")
+    print(f"Copies inserted: {result.copy_count}")
+    print()
+
+    print("Cluster assignment:")
+    for node in result.annotated.ddg.nodes:
+        cluster = result.annotated.cluster_of[node.node_id]
+        marker = "  [copy]" if node.is_copy else ""
+        print(f"  {str(node):<16} -> C{cluster}{marker}")
+    print()
+
+    print(f"Kernel (II = {result.ii} cycles/iteration, "
+          f"{result.schedule.stage_count} stages):")
+    print(result.schedule.format_kernel())
+    print()
+
+    # On the paper's hypothetical machine (one GP unit per cluster,
+    # Section 3) the loop cannot fit one cluster: the assignment must
+    # split it and insert a copy — the Figure 8 walk-through.
+    from repro.machine import bused_machine, gp_units
+
+    toy = bused_machine(2, gp_units(1), buses=2, ports=1, name="toy")
+    toy_result = compile_loop(loop, toy, verify=True)
+    print(f"Same loop on the paper's toy machine ({toy}):")
+    print(f"Final II = {toy_result.ii} — still matches MII {result.mii}; "
+          f"{toy_result.copy_count} copy inserted.")
+    for node in toy_result.annotated.ddg.nodes:
+        cluster = toy_result.annotated.cluster_of[node.node_id]
+        marker = "  [copy]" if node.is_copy else ""
+        print(f"  {str(node):<16} -> C{cluster}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Interconnect topology study: broadcast buses vs point-to-point grid.
+
+The paper's most constrained machine is the 2x2 grid — no broadcast,
+three units per cluster, diagonal neighbors two hops apart.  This example
+compares it against an equally-clustered bused machine across the whole
+kernel library and reports where the limited topology costs cycles.
+
+Run:  python examples/topology_study.py
+"""
+
+from repro import compile_loop, four_cluster_fs, four_cluster_grid
+from repro.analysis import histogram_of
+from repro.workloads import all_kernels
+
+
+def main() -> None:
+    grid = four_cluster_grid()
+    bused = four_cluster_fs()
+
+    print(f"Grid machine:  {grid}")
+    print(f"Bused machine: {bused}")
+    print()
+    header = (
+        f"{'kernel':<24} {'II(uni)':>8} {'II(bus)':>8} {'II(grid)':>9} "
+        f"{'cp(bus)':>8} {'cp(grid)':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    bus_devs, grid_devs = [], []
+    for loop in all_kernels():
+        uni_ii = compile_loop(loop, grid.unified_equivalent()).ii
+        bus_result = compile_loop(loop, bused, verify=True)
+        grid_result = compile_loop(loop, grid, verify=True)
+        # The two machines have different widths; compare each to its
+        # own equally wide unified machine.
+        bus_uni = compile_loop(loop, bused.unified_equivalent()).ii
+        bus_devs.append(bus_result.ii - bus_uni)
+        grid_devs.append(grid_result.ii - uni_ii)
+        print(
+            f"{loop.name:<24} {uni_ii:>8} {bus_result.ii:>8} "
+            f"{grid_result.ii:>9} {bus_result.copy_count:>8} "
+            f"{grid_result.copy_count:>9}"
+        )
+
+    print("-" * len(header))
+    bus_hist = histogram_of(bus_devs)
+    grid_hist = histogram_of(grid_devs)
+    print(f"bused 4-cluster: {bus_hist.match_percentage:.0f}% of kernels "
+          f"match their unified II "
+          f"(mean deviation {bus_hist.mean_deviation:.2f} cycles)")
+    print(f"grid 4-cluster:  {grid_hist.match_percentage:.0f}% of kernels "
+          f"match their unified II "
+          f"(mean deviation {grid_hist.mean_deviation:.2f} cycles)")
+    print()
+    print("The grid's missing broadcast and two-hop diagonal show up as")
+    print("extra copies; the assignment algorithm still hides most of the")
+    print("communication latency inside the II (paper Section 6: 92% at")
+    print("x=0, 98% within one cycle on the full suite).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""Experiment runner: one machine/algorithm configuration over a suite.
+
+The paper's measurement protocol (Section 6): schedule every loop for the
+clustered machine and for the equally wide unified machine, and report the
+distribution of the II difference.  ``UnifiedBaseline`` caches the unified
+IIs so sweeps that share a width (e.g. the bus-count sweeps of Figures
+14–17) pay for the baseline only once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.driver import CompilationError, compile_loop
+from ..core.variants import HEURISTIC_ITERATIVE, AssignmentConfig
+from ..ddg.graph import Ddg
+from ..machine.machine import Machine
+from .histogram import DeviationHistogram
+
+
+@dataclass(frozen=True)
+class LoopOutcome:
+    """Result of one loop on one clustered configuration."""
+
+    loop_name: str
+    unified_ii: int
+    clustered_ii: int
+    copies: int
+
+    @property
+    def deviation(self) -> int:
+        """``II_clustered - II_unified`` (the figures' x-axis)."""
+        return self.clustered_ii - self.unified_ii
+
+
+@dataclass
+class ExperimentResult:
+    """All outcomes of one experiment, plus derived figure data."""
+
+    label: str
+    machine_name: str
+    config_name: str
+    outcomes: List[LoopOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def histogram(self) -> DeviationHistogram:
+        """Deviation histogram over all outcomes."""
+        histogram = DeviationHistogram()
+        for outcome in self.outcomes:
+            histogram.add(outcome.deviation)
+        return histogram
+
+    @property
+    def match_percentage(self) -> float:
+        """Percent of loops whose II matched the unified machine."""
+        return self.histogram.match_percentage
+
+    @property
+    def total_copies(self) -> int:
+        """Copies inserted across the whole suite."""
+        return sum(outcome.copies for outcome in self.outcomes)
+
+    @property
+    def n_loops(self) -> int:
+        """Number of loops measured."""
+        return len(self.outcomes)
+
+
+class UnifiedBaseline:
+    """Cache of unified-machine IIs keyed by (machine name, loop name).
+
+    Loop names must be unique within a suite (they are: kernels carry
+    their kernel name, synthetic loops an index-stamped name).
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, str], int] = {}
+
+    def ii_for(self, ddg: Ddg, unified: Machine) -> int:
+        """Unified II of one loop, computed once."""
+        key = (unified.name, ddg.name)
+        if key not in self._cache:
+            result = compile_loop(ddg, unified)
+            self._cache[key] = result.ii
+        return self._cache[key]
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def run_experiment(
+    loops: Sequence[Ddg],
+    machine: Machine,
+    config: AssignmentConfig = HEURISTIC_ITERATIVE,
+    label: str = "",
+    baseline: Optional[UnifiedBaseline] = None,
+    verify: bool = False,
+) -> ExperimentResult:
+    """Measure one clustered configuration against its unified baseline."""
+    if baseline is None:
+        baseline = UnifiedBaseline()
+    unified = machine.unified_equivalent()
+    result = ExperimentResult(
+        label=label or f"{machine.name}/{config.name}",
+        machine_name=machine.name,
+        config_name=config.name,
+    )
+    started = time.perf_counter()
+    for ddg in loops:
+        unified_ii = baseline.ii_for(ddg, unified)
+        clustered = compile_loop(ddg, machine, config, verify=verify)
+        result.outcomes.append(
+            LoopOutcome(
+                loop_name=ddg.name,
+                unified_ii=unified_ii,
+                clustered_ii=clustered.ii,
+                copies=clustered.copy_count,
+            )
+        )
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def run_sweep(
+    loops: Sequence[Ddg],
+    machines: Iterable[Machine],
+    config: AssignmentConfig = HEURISTIC_ITERATIVE,
+    labels: Optional[Sequence[str]] = None,
+    baseline: Optional[UnifiedBaseline] = None,
+    verify: bool = False,
+) -> List[ExperimentResult]:
+    """Run one experiment per machine (the bus/port sweep pattern)."""
+    if baseline is None:
+        baseline = UnifiedBaseline()
+    machine_list = list(machines)
+    if labels is not None and len(labels) != len(machine_list):
+        raise ValueError("labels must match machines one-to-one")
+    results = []
+    for index, machine in enumerate(machine_list):
+        label = labels[index] if labels is not None else ""
+        results.append(
+            run_experiment(
+                loops, machine, config,
+                label=label, baseline=baseline, verify=verify,
+            )
+        )
+    return results
+
+
+def run_variant_comparison(
+    loops: Sequence[Ddg],
+    machine: Machine,
+    configs: Iterable[AssignmentConfig],
+    baseline: Optional[UnifiedBaseline] = None,
+    verify: bool = False,
+) -> List[ExperimentResult]:
+    """Run one experiment per algorithm variant (Figures 12–13 pattern)."""
+    if baseline is None:
+        baseline = UnifiedBaseline()
+    return [
+        run_experiment(
+            loops, machine, config,
+            label=config.name, baseline=baseline, verify=verify,
+        )
+        for config in configs
+    ]

@@ -1,0 +1,94 @@
+"""Figure-style renderings and machine-readable exports.
+
+The paper's figures are grouped bar charts: x = II deviation from the
+unified machine, one bar per configuration per x value, y = percent of
+loops.  :func:`grouped_bar_chart` renders exactly that in ASCII;
+:func:`results_to_csv` and :func:`outcomes_to_csv` export the same data
+for external plotting tools.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Sequence
+
+from .experiment import ExperimentResult
+
+#: Height of the ASCII chart in character rows.
+CHART_HEIGHT = 12
+
+
+def grouped_bar_chart(
+    results: Sequence[ExperimentResult],
+    max_bucket: int = 3,
+    height: int = CHART_HEIGHT,
+) -> str:
+    """Render the paper's grouped-bar figure layout in ASCII.
+
+    One group of bars per deviation bucket (0, 1, …, ``max_bucket``+),
+    one bar per series within each group, scaled to 100 %.
+    """
+    if not results:
+        return "(no results)"
+    series = [result.histogram.buckets(max_bucket) for result in results]
+    n_groups = max_bucket + 1
+    n_series = len(results)
+    bar_glyphs = "#*+o%@"[:max(n_series, 1)]
+
+    # Column layout: groups separated by two spaces, one column per bar.
+    lines: List[str] = []
+    for level in range(height, 0, -1):
+        threshold = 100.0 * level / height
+        row = io.StringIO()
+        row.write(f"{threshold:5.0f}% |" if level % 3 == 0 else "       |")
+        for group in range(n_groups):
+            row.write(" ")
+            for index in range(n_series):
+                pct = series[index][group][1]
+                row.write(bar_glyphs[index % len(bar_glyphs)]
+                          if pct >= threshold - 1e-9 else " ")
+            row.write(" ")
+        lines.append(row.getvalue().rstrip())
+    axis = io.StringIO()
+    axis.write("       +")
+    for group in range(n_groups):
+        axis.write("-" * (n_series + 2))
+    lines.append(axis.getvalue())
+    labels = io.StringIO()
+    labels.write("        ")
+    for group in range(n_groups):
+        label = series[0][group][0]
+        labels.write(f" {label:^{n_series}} ")
+    lines.append(labels.getvalue().rstrip())
+    lines.append("        (x = II deviation from the unified machine)")
+    legend = [
+        f"  {bar_glyphs[i % len(bar_glyphs)]} = {result.label} "
+        f"({result.match_percentage:.1f}% at x=0)"
+        for i, result in enumerate(results)
+    ]
+    return "\n".join(lines + legend)
+
+
+def results_to_csv(
+    results: Sequence[ExperimentResult], max_bucket: int = 3
+) -> str:
+    """Histogram summary per series, one row per (series, bucket)."""
+    lines = ["label,machine,config,deviation,percent,loops"]
+    for result in results:
+        for label, pct in result.histogram.buckets(max_bucket):
+            lines.append(
+                f"{result.label},{result.machine_name},"
+                f"{result.config_name},{label},{pct:.3f},{result.n_loops}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def outcomes_to_csv(result: ExperimentResult) -> str:
+    """Raw per-loop outcomes of one experiment."""
+    lines = ["loop,unified_ii,clustered_ii,deviation,copies"]
+    for outcome in result.outcomes:
+        lines.append(
+            f"{outcome.loop_name},{outcome.unified_ii},"
+            f"{outcome.clustered_ii},{outcome.deviation},{outcome.copies}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,113 @@
+"""Register pressure analysis of modulo schedules.
+
+Clustering exists to keep register files small (paper Section 1.1), so a
+natural question about any clustered schedule is how many live values
+each cluster's register file must hold.  This module computes **MaxLive**
+— the maximum number of simultaneously live values — per cluster, using
+the standard modulo-scheduling lifetime model:
+
+* a value is born when its producer *finishes* (issue + latency) and
+  dies at the *last* issue that reads it on that cluster, adjusted by
+  ``II × distance`` for loop-carried uses;
+* lifetimes longer than II overlap with later iterations of themselves,
+  so a lifetime of length L contributes ``ceil(L / II)`` simultaneous
+  copies (the quantity modulo variable expansion or rotating registers
+  must provide);
+* on a clustered machine a value read by a copy lives in the *source*
+  register file until the copy issues, and the copy's result then lives
+  in every *target* cluster's file — exactly how the hardware behaves.
+
+Lifetime extraction is shared with the register allocator
+(:mod:`repro.regalloc.lifetimes`), so pressure numbers and allocations
+are always computed from the same model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..regalloc.lifetimes import extract_lifetimes
+from ..scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class RegisterPressure:
+    """MaxLive per cluster plus the machine-wide total."""
+
+    per_cluster: Dict[int, int]
+    total_max_live: int
+
+    def max_live(self, cluster: int) -> int:
+        """MaxLive of one cluster's register file."""
+        return self.per_cluster.get(cluster, 0)
+
+
+def _live_copies(length: int, ii: int) -> int:
+    """Simultaneous instances of a lifetime of ``length`` cycles."""
+    if length <= 0:
+        return 1  # born and consumed within the cycle: still one register
+    return -(-length // ii)
+
+
+def register_pressure(schedule: Schedule) -> RegisterPressure:
+    """Compute per-cluster MaxLive of ``schedule``.
+
+    Each lifetime (shared with the allocator) is folded modulo II: a
+    length-L lifetime covers every kernel row ``L // II`` times plus one
+    more for the ``L % II`` rows after its birth; zero-length lifetimes
+    still hold a register in their birth row.
+    """
+    ii = schedule.ii
+    live: Dict[int, List[int]] = {
+        cluster: [0] * ii
+        for cluster in schedule.annotated.machine.cluster_indices
+    }
+    for lifetime in extract_lifetimes(schedule):
+        rows = live[lifetime.cluster]
+        length = lifetime.length
+        if length <= 0:
+            rows[lifetime.birth % ii] += 1
+            continue
+        full_rows, partial = divmod(length, ii)
+        for row in range(ii):
+            rows[row] += full_rows
+        for offset in range(partial):
+            rows[(lifetime.birth + offset) % ii] += 1
+
+    per_cluster = {
+        cluster: max(rows) if rows else 0 for cluster, rows in live.items()
+    }
+    return RegisterPressure(
+        per_cluster=per_cluster,
+        total_max_live=sum(per_cluster.values()),
+    )
+
+
+def mve_unroll_factor(schedule: Schedule) -> int:
+    """Kernel unroll factor required by modulo variable expansion.
+
+    Without rotating register files, a value whose lifetime exceeds II
+    would be overwritten by the next iteration's instance; modulo
+    variable expansion (Rau et al., PLDI'92 — cited as [21] by the
+    paper) unrolls the kernel so each instance gets its own register.
+    The required factor is the maximum over values of
+    ``ceil(lifetime / II)`` (1 when no lifetime exceeds II).
+    """
+    ii = schedule.ii
+    factor = 1
+    for lifetime in extract_lifetimes(schedule):
+        factor = max(factor, _live_copies(lifetime.length, ii))
+    return factor
+
+
+def format_pressure(pressure: RegisterPressure) -> str:
+    """One line per cluster, e.g. for example scripts."""
+    parts = [
+        f"C{cluster}: {value}"
+        for cluster, value in sorted(pressure.per_cluster.items())
+    ]
+    return (
+        "MaxLive per cluster: " + ", ".join(parts)
+        + f"  (total {pressure.total_max_live})"
+    )

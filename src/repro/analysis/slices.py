@@ -1,0 +1,88 @@
+"""Slicing experiment results by loop population characteristics.
+
+The paper's suite statistics call out that 301 of the 1327 loops contain
+recurrences; the assignment algorithm's SCC machinery only matters on
+that slice.  These helpers split an experiment's outcomes into
+subpopulations (by a predicate over the loop DDGs) so the harness can
+report, e.g., match rates for recurrence-bearing loops separately from
+streaming loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..ddg.graph import Ddg
+from ..ddg.scc import find_sccs
+from .experiment import ExperimentResult, LoopOutcome
+
+
+@dataclass
+class SlicedResult:
+    """One experiment's outcomes split into labelled subpopulations."""
+
+    source: ExperimentResult
+    slices: Dict[str, List[LoopOutcome]]
+
+    def match_percentage(self, label: str) -> float:
+        """x = 0 rate within one slice."""
+        outcomes = self.slices.get(label, [])
+        if not outcomes:
+            return 0.0
+        matches = sum(1 for o in outcomes if o.deviation == 0)
+        return 100.0 * matches / len(outcomes)
+
+    def size(self, label: str) -> int:
+        """Loops in one slice."""
+        return len(self.slices.get(label, []))
+
+    def format_table(self) -> str:
+        """One line per slice."""
+        lines = [f"{self.source.label}:"]
+        for label in sorted(self.slices):
+            lines.append(
+                f"  {label:<24} {self.size(label):>5} loops   "
+                f"match {self.match_percentage(label):5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def slice_result(
+    result: ExperimentResult,
+    loops: Sequence[Ddg],
+    classifier: Callable[[Ddg], str],
+) -> SlicedResult:
+    """Split ``result`` by ``classifier`` applied to the matching loops.
+
+    ``loops`` must be the exact suite the experiment ran over (matched by
+    loop name).
+    """
+    by_name = {loop.name: loop for loop in loops}
+    slices: Dict[str, List[LoopOutcome]] = {}
+    for outcome in result.outcomes:
+        loop = by_name.get(outcome.loop_name)
+        if loop is None:
+            raise KeyError(
+                f"outcome for unknown loop {outcome.loop_name!r}"
+            )
+        label = classifier(loop)
+        slices.setdefault(label, []).append(outcome)
+    return SlicedResult(source=result, slices=slices)
+
+
+def by_recurrence(loop: Ddg) -> str:
+    """Classifier: loops with vs without multi-node recurrences."""
+    partition = find_sccs(loop)
+    if any(len(scc) >= 2 for scc in partition):
+        return "with recurrences"
+    return "streaming only"
+
+
+def by_size(loop: Ddg) -> str:
+    """Classifier: small / medium / large loop bodies."""
+    if len(loop) <= 8:
+        return "small (<=8 ops)"
+    if len(loop) <= 24:
+        return "medium (9-24 ops)"
+    return "large (>24 ops)"

@@ -1,0 +1,5 @@
+"""Baseline schedulers the paper compares against conceptually."""
+
+from .bug_list import AcyclicResult, bug_list_schedule
+
+__all__ = ["AcyclicResult", "bug_list_schedule"]

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+* ``compile`` — read a loop in the textual format of
+  :mod:`repro.ddg.parse`, assign + schedule it for a chosen machine,
+  print the assignment, kernel, copies, and register pressure.
+* ``stats`` — print the Table 1 statistics of the evaluation suite.
+* ``experiment`` — run one clustered configuration against its unified
+  baseline over the suite and print the II-deviation histogram.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .analysis import (
+    deviation_table,
+    experiment_summary,
+    run_experiment,
+)
+from .analysis.registers import format_pressure, register_pressure
+from .codegen import expand_pipeline, format_kernel_only, format_pipelined
+from .core import ALL_VARIANTS, HEURISTIC_ITERATIVE, compile_loop
+from .ddg.dot import annotated_to_dot
+from .ddg.parse import parse_loop
+from .machine import (
+    Machine,
+    four_cluster_fs,
+    four_cluster_gp,
+    four_cluster_grid,
+    n_cluster_gp,
+    two_cluster_fs,
+    two_cluster_gp,
+)
+from .workloads import paper_suite, suite_statistics
+
+MACHINES: Dict[str, Callable[[], Machine]] = {
+    "2gp": two_cluster_gp,
+    "4gp": four_cluster_gp,
+    "2fs": two_cluster_fs,
+    "4fs": four_cluster_fs,
+    "grid": four_cluster_grid,
+    "6gp": lambda: n_cluster_gp(6, 6, 3),
+    "8gp": lambda: n_cluster_gp(8, 7, 3),
+}
+
+VARIANTS = {config.name.lower().replace(" ", "-"): config
+            for config in ALL_VARIANTS}
+
+
+def _machine(name: str) -> Machine:
+    try:
+        return MACHINES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        )
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    if args.loop == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.loop) as handle:
+            text = handle.read()
+    loop = parse_loop(text, name=args.loop)
+    machine = _machine(args.machine)
+    config = VARIANTS[args.variant]
+    result = compile_loop(loop, machine, config=config, verify=True)
+    unified = compile_loop(loop, machine.unified_equivalent())
+
+    print(f"machine: {machine}")
+    print(f"II = {result.ii} (unified machine: {unified.ii}, "
+          f"MII: {result.mii})")
+    print(f"copies inserted: {result.copy_count}")
+    print()
+    print("assignment:")
+    for node in result.annotated.ddg.nodes:
+        cluster = result.annotated.cluster_of[node.node_id]
+        marker = "  [copy]" if node.is_copy else ""
+        print(f"  {str(node):<20} -> C{cluster}{marker}")
+    print()
+    print(f"kernel ({result.schedule.stage_count} stages):")
+    print(result.schedule.format_kernel())
+    print()
+    print(format_pressure(register_pressure(result.schedule)))
+    if args.emit:
+        print()
+        code = expand_pipeline(result.schedule)
+        print(format_pipelined(code, result.schedule))
+        print()
+        print(format_kernel_only(result.schedule))
+    if args.simulate:
+        from .sim import simulate_schedule
+
+        report = simulate_schedule(loop, result.schedule, args.simulate)
+        verdict = "ALL MATCH" if report.ok else "MISMATCH"
+        print()
+        print(
+            f"simulated {args.simulate} iterations "
+            f"({report.cycles} cycles, {report.checked_values} values): "
+            f"{verdict}"
+        )
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(annotated_to_dot(result.annotated))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    loops = paper_suite(args.loops)
+    print(suite_statistics(loops).format_table())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    loops = paper_suite(args.loops)
+    machine = _machine(args.machine)
+    config = VARIANTS[args.variant]
+    result = run_experiment(loops, machine, config=config)
+    print(deviation_table([result]))
+    print()
+    print(experiment_summary(result))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .analysis import campaign_to_markdown, run_campaign
+
+    campaign = run_campaign(
+        n_loops=args.loops,
+        include_table3=not args.skip_table3,
+        progress=(print if args.verbose else None),
+    )
+    report = campaign_to_markdown(campaign)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cluster assignment for modulo scheduling "
+                    "(Nystrom & Eichenberger, MICRO-31 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser(
+        "compile", help="assign + schedule one loop file ('-' for stdin)"
+    )
+    compile_parser.add_argument("loop", help="loop file in the text format")
+    compile_parser.add_argument(
+        "--machine", default="2gp", help=f"one of {sorted(MACHINES)}"
+    )
+    compile_parser.add_argument(
+        "--variant", default="heuristic-iterative",
+        choices=sorted(VARIANTS),
+    )
+    compile_parser.add_argument(
+        "--dot", default=None, metavar="FILE",
+        help="also write the annotated graph as Graphviz DOT",
+    )
+    compile_parser.add_argument(
+        "--emit", action="store_true",
+        help="print the expanded pipelined code (flat + predicated)",
+    )
+    compile_parser.add_argument(
+        "--simulate", type=int, default=0, metavar="N",
+        help="execute N iterations on the simulated machine and "
+             "validate against the sequential reference",
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    stats_parser = sub.add_parser(
+        "stats", help="print Table 1 statistics of the loop suite"
+    )
+    stats_parser.add_argument("--loops", type=int, default=1327)
+    stats_parser.set_defaults(func=_cmd_stats)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="one machine vs its unified baseline"
+    )
+    experiment_parser.add_argument(
+        "--machine", default="2gp", help=f"one of {sorted(MACHINES)}"
+    )
+    experiment_parser.add_argument(
+        "--variant", default="heuristic-iterative",
+        choices=sorted(VARIANTS),
+    )
+    experiment_parser.add_argument("--loops", type=int, default=250)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="regenerate every paper table and figure"
+    )
+    campaign_parser.add_argument("--loops", type=int, default=250)
+    campaign_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the markdown report to a file instead of stdout",
+    )
+    campaign_parser.add_argument(
+        "--skip-table3", action="store_true",
+        help="skip the slow 6/8-cluster Table 3 sweep",
+    )
+    campaign_parser.add_argument("--verbose", action="store_true")
+    campaign_parser.set_defaults(func=_cmd_campaign)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

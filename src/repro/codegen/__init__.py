@@ -1,0 +1,17 @@
+"""Pipelined code emission: flat expansion and predicated kernels."""
+
+from .expand import (
+    Instr,
+    PipelinedCode,
+    expand_pipeline,
+    format_kernel_only,
+    format_pipelined,
+)
+
+__all__ = [
+    "Instr",
+    "PipelinedCode",
+    "expand_pipeline",
+    "format_kernel_only",
+    "format_pipelined",
+]

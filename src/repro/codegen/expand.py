@@ -1,0 +1,179 @@
+"""Software-pipeline expansion: prologue / kernel / epilogue.
+
+A modulo schedule with S stages executes iterations overlapped S-deep.
+Flat (non-predicated, non-rotating) code for a trip count ``N >= S``
+therefore consists of:
+
+* a **prologue** of ``(S-1) * II`` cycles ramping the pipeline up — at
+  cycle ``t`` it issues every operation ``n`` whose
+  ``start(n) + i*II == t`` for some started iteration ``i``;
+* the **kernel** of ``II`` cycles, executed ``N - S + 1`` times — one
+  instance of every operation per pass, each reading values produced
+  ``stage(n)`` kernel passes ago;
+* an **epilogue** of ``(S-1) * II`` cycles draining the last ``S-1``
+  in-flight iterations.
+
+Every operation appears exactly ``S`` times in the static code — the
+classic code-expansion-factor-equals-stage-count result, which
+predicated kernel-only execution avoids (paper reference [20]); both
+emitters are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One static instruction slot of the expanded code.
+
+    ``iteration_offset`` identifies which loop iteration (relative to the
+    first iteration issued in this region) the instance belongs to.
+    """
+
+    node_id: int
+    cluster: int
+    iteration_offset: int
+    stage: int
+
+
+@dataclass
+class PipelinedCode:
+    """Expanded pipelined code: instruction lists per cycle, per region."""
+
+    ii: int
+    stage_count: int
+    prologue: List[List[Instr]] = field(default_factory=list)
+    kernel: List[List[Instr]] = field(default_factory=list)
+    epilogue: List[List[Instr]] = field(default_factory=list)
+
+    @property
+    def prologue_cycles(self) -> int:
+        """Length of the ramp-up region in cycles."""
+        return len(self.prologue)
+
+    @property
+    def epilogue_cycles(self) -> int:
+        """Length of the drain region in cycles."""
+        return len(self.epilogue)
+
+    @property
+    def static_instruction_count(self) -> int:
+        """All instruction slots across the three regions."""
+        return sum(
+            len(cycle_ops)
+            for region in (self.prologue, self.kernel, self.epilogue)
+            for cycle_ops in region
+        )
+
+    def expansion_factor(self, n_ops: int) -> float:
+        """Static instructions per loop operation (S for flat code)."""
+        return self.static_instruction_count / n_ops
+
+    def min_trip_count(self) -> int:
+        """Smallest trip count this flat expansion is valid for."""
+        return self.stage_count
+
+
+def expand_pipeline(schedule: Schedule) -> PipelinedCode:
+    """Expand ``schedule`` into flat prologue/kernel/epilogue code."""
+    annotated = schedule.annotated
+    ii = schedule.ii
+    stage_count = schedule.stage_count
+
+    def instr(node_id: int, iteration: int) -> Instr:
+        return Instr(
+            node_id=node_id,
+            cluster=annotated.cluster_of[node_id],
+            iteration_offset=iteration,
+            stage=schedule.stage(node_id),
+        )
+
+    code = PipelinedCode(ii=ii, stage_count=stage_count)
+
+    # Prologue: absolute cycles [0, (S-1)*II) of the overlapped execution.
+    for cycle in range((stage_count - 1) * ii):
+        ops = []
+        for node_id, start in schedule.start.items():
+            if start <= cycle and (cycle - start) % ii == 0:
+                ops.append(instr(node_id, (cycle - start) // ii))
+        code.prologue.append(ops)
+
+    # Kernel: one instance of every op, by row.
+    for row in range(ii):
+        ops = [
+            instr(node_id, stage_count - 1 - schedule.stage(node_id))
+            for node_id in schedule.start
+            if schedule.row(node_id) == row
+        ]
+        code.kernel.append(ops)
+
+    # Epilogue: cycles [(S-1)*II + II, ...) relative to the *last* kernel
+    # pass — operation n of a still-in-flight iteration k (0 = oldest)
+    # drains when its remaining stages exceed k.
+    for drain_cycle in range((stage_count - 1) * ii):
+        cycle = stage_count * ii + drain_cycle  # absolute, first iter = 0
+        ops = []
+        for node_id, start in schedule.start.items():
+            if (cycle - start) % ii != 0:
+                continue
+            iteration = (cycle - start) // ii
+            # Iterations 1 .. S-1 (relative to the last kernel pass's
+            # oldest iteration) are still draining.
+            if 1 <= iteration <= stage_count - 1:
+                ops.append(instr(node_id, iteration))
+        code.epilogue.append(ops)
+
+    return code
+
+
+def format_pipelined(code: PipelinedCode, schedule: Schedule) -> str:
+    """Human-readable listing of the expanded code."""
+    ddg = schedule.annotated.ddg
+
+    def cell(entry: Instr) -> str:
+        return (
+            f"{ddg.node(entry.node_id)}@C{entry.cluster}"
+            f"[i+{entry.iteration_offset}]"
+        )
+
+    lines: List[str] = []
+    for title, region in (
+        ("PROLOGUE", code.prologue),
+        ("KERNEL (loop body)", code.kernel),
+        ("EPILOGUE", code.epilogue),
+    ):
+        lines.append(f"--- {title} ({len(region)} cycles) ---")
+        for index, ops in enumerate(region):
+            cells = "  ".join(cell(entry) for entry in ops)
+            lines.append(f"{index:>4}: {cells}")
+    return "\n".join(lines)
+
+
+def format_kernel_only(schedule: Schedule) -> str:
+    """Kernel-only listing with stage predicates.
+
+    With predicated execution (paper reference [20]) the prologue and
+    epilogue collapse into the kernel: each operation is guarded by the
+    predicate of its stage, which the hardware sets as iterations start
+    and drain.  Code expansion factor: 1.
+    """
+    ddg = schedule.annotated.ddg
+    lines = [
+        f"--- PREDICATED KERNEL (II={schedule.ii}, "
+        f"{schedule.stage_count} stage predicates) ---"
+    ]
+    for row_index, row in enumerate(schedule.kernel_rows()):
+        cells = []
+        for node_id in row:
+            cluster = schedule.annotated.cluster_of[node_id]
+            cells.append(
+                f"p{schedule.stage(node_id)}? "
+                f"{ddg.node(node_id)}@C{cluster}"
+            )
+        lines.append(f"{row_index:>4}: " + "  ".join(cells))
+    return "\n".join(lines)

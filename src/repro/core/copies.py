@@ -1,0 +1,319 @@
+"""Copy planning: which copy operations a partial assignment implies.
+
+A *required copy* (paper Section 4.2) exists whenever a value producer and
+one of its consumers sit on different clusters.  This module turns the
+question "which copies does producer ``p`` need right now?" into a pure
+function of ``(machine, producer cluster, clusters that need the value)``:
+
+* on a **bused** machine the answer is a single broadcast copy delivering
+  to every needing cluster (the result of an operation is communicated at
+  most once — paper Section 4.2's ``UpperBound`` rationale);
+* on a **point-to-point** machine it is one copy per directed hop of the
+  union of shortest routes from the producer's cluster to every needing
+  cluster, emitted in breadth-first order so each hop's source cluster is
+  already reached.
+
+:class:`RoutingState` keeps these plans current while the assignment
+algorithm assigns, evicts, and re-assigns nodes, reserving and releasing
+the copies' port/bus/link slots in the shared :class:`ResourcePools`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ddg.graph import Ddg
+from ..machine.machine import Machine, ResourceKey
+from ..mrt.pool import PoolOverflowError, ResourcePools
+
+
+class CopyRoutingError(RuntimeError):
+    """A value cannot be routed between two clusters on this fabric.
+
+    Raised by copy planning when the interconnect has no path (e.g. a
+    partitioned point-to-point topology).  The assignment algorithm
+    treats it like a resource shortage: the candidate is infeasible, and
+    eviction of the unreachable consumer repairs forced placements.
+    """
+
+
+@dataclass(frozen=True)
+class CopySpec:
+    """One copy operation: read on ``src_cluster``, write on ``targets``."""
+
+    src_cluster: int
+    targets: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CopyPlan:
+    """All copies one producer currently requires, in dependence order."""
+
+    producer: int
+    specs: Tuple[CopySpec, ...]
+    resources: Tuple[ResourceKey, ...]
+
+    @property
+    def copy_count(self) -> int:
+        """Number of copy operations (the paper's RC of the producer)."""
+        return len(self.specs)
+
+
+def plan_copies(
+    machine: Machine,
+    producer: int,
+    producer_cluster: int,
+    needed_clusters: Set[int],
+    share_broadcast: bool = True,
+) -> CopyPlan:
+    """Compute the copy plan moving ``producer``'s value where needed.
+
+    ``share_broadcast=False`` is an ablation knob: on bused machines it
+    emits one copy per target cluster instead of a single broadcast.
+    """
+    needed = {c for c in needed_clusters if c != producer_cluster}
+    if not needed:
+        return CopyPlan(producer=producer, specs=(), resources=())
+    if machine.interconnect.broadcast:
+        if share_broadcast:
+            target_groups = [tuple(sorted(needed))]
+        else:
+            target_groups = [(target,) for target in sorted(needed)]
+        specs = tuple(
+            CopySpec(src_cluster=producer_cluster, targets=targets)
+            for targets in target_groups
+        )
+        resources: List[ResourceKey] = []
+        for spec in specs:
+            resources.extend(
+                machine.copy_hop_resources(
+                    spec.src_cluster, list(spec.targets)
+                )
+            )
+        return CopyPlan(
+            producer=producer, specs=specs, resources=tuple(resources)
+        )
+
+    # Point-to-point: union of shortest routes, hop copies in BFS order.
+    hop_edges: List[Tuple[int, int]] = []
+    for target in sorted(needed):
+        try:
+            route = machine.copy_route(producer_cluster, target)
+        except ValueError as exc:
+            raise CopyRoutingError(str(exc)) from exc
+        for a, b in zip(route, route[1:]):
+            if (a, b) not in hop_edges:
+                hop_edges.append((a, b))
+    ordered: List[Tuple[int, int]] = []
+    reached = {producer_cluster}
+    remaining = list(hop_edges)
+    while remaining:
+        progressed = False
+        for hop in list(remaining):
+            if hop[0] in reached:
+                ordered.append(hop)
+                reached.add(hop[1])
+                remaining.remove(hop)
+                progressed = True
+        if not progressed:  # pragma: no cover - routes start at producer
+            raise RuntimeError(f"disconnected copy route {remaining}")
+    specs = tuple(CopySpec(src_cluster=a, targets=(b,)) for a, b in ordered)
+    resources: List[ResourceKey] = []
+    for spec in specs:
+        resources.extend(
+            machine.copy_hop_resources(spec.src_cluster, list(spec.targets))
+        )
+    return CopyPlan(
+        producer=producer, specs=specs, resources=tuple(resources)
+    )
+
+
+@dataclass
+class RoutingSnapshot:
+    """Rollback point for :class:`RoutingState` (pools snapshot separate)."""
+
+    cluster_of: Dict[int, int]
+    plans: Dict[int, CopyPlan]
+
+
+class RoutingState:
+    """Live copy plans + cluster map during assignment.
+
+    All pool reservations for copies are owned here; the caller owns the
+    reservations for the operations' own issue slots.
+    """
+
+    def __init__(
+        self,
+        ddg: Ddg,
+        machine: Machine,
+        pools: ResourcePools,
+        share_broadcast: bool = True,
+    ) -> None:
+        self.ddg = ddg
+        self.machine = machine
+        self.pools = pools
+        self.share_broadcast = share_broadcast
+        self.cluster_of: Dict[int, int] = {}
+        self._plans: Dict[int, CopyPlan] = {}
+        # Value-edge adjacency, precomputed once: producer -> consumers and
+        # consumer -> producers, considering only register (value) edges.
+        self._value_consumers: Dict[int, List[int]] = {}
+        self._value_producers: Dict[int, List[int]] = {}
+        for node_id in ddg.node_ids:
+            self._value_consumers[node_id] = []
+            self._value_producers[node_id] = []
+        for edge in ddg.edges:
+            if edge.src == edge.dst:
+                continue  # a self-dependence never crosses clusters
+            if not ddg.node(edge.src).produces_value:
+                continue  # memory/control ordering edge: no copy ever
+            if edge.dst not in self._value_consumers[edge.src]:
+                self._value_consumers[edge.src].append(edge.dst)
+            if edge.src not in self._value_producers[edge.dst]:
+                self._value_producers[edge.dst].append(edge.src)
+
+    # ------------------------------------------------------------------
+    # Value-flow queries
+    # ------------------------------------------------------------------
+    def value_consumers(self, producer: int) -> List[int]:
+        """Distinct nodes consuming ``producer``'s register value."""
+        return list(self._value_consumers[producer])
+
+    def value_producers(self, consumer: int) -> List[int]:
+        """Distinct nodes whose register value ``consumer`` reads."""
+        return list(self._value_producers[consumer])
+
+    def unassigned_value_consumers(self, producer: int) -> int:
+        """The paper's ``UnassignedSuccessors(N_i)`` term."""
+        return sum(
+            1
+            for consumer in self._value_consumers[producer]
+            if consumer not in self.cluster_of
+        )
+
+    def needed_clusters(self, producer: int) -> Set[int]:
+        """Clusters (other than the producer's) that need the value now."""
+        home = self.cluster_of.get(producer)
+        if home is None:
+            return set()
+        return {
+            self.cluster_of[c]
+            for c in self._value_consumers[producer]
+            if c in self.cluster_of and self.cluster_of[c] != home
+        }
+
+    def required_copies(self, producer: int) -> int:
+        """RC(producer): copies the current assignment forces on it."""
+        plan = self._plans.get(producer)
+        return 0 if plan is None else plan.copy_count
+
+    def total_copies(self) -> int:
+        """Total copy operations implied by the current assignment."""
+        return sum(plan.copy_count for plan in self._plans.values())
+
+    def plans(self) -> Dict[int, CopyPlan]:
+        """Producer -> current plan (only producers with copies)."""
+        return {p: plan for p, plan in self._plans.items() if plan.specs}
+
+    # ------------------------------------------------------------------
+    # Replanning
+    # ------------------------------------------------------------------
+    def affected_producers(self, node_id: int) -> List[int]:
+        """Producers whose plan may change when ``node_id`` (re)moves."""
+        affected = []
+        if self.ddg.node(node_id).produces_value:
+            affected.append(node_id)
+        for producer in self._value_producers[node_id]:
+            if producer not in affected:
+                affected.append(producer)
+        return affected
+
+    def replan(self, producer: int) -> None:
+        """Recompute ``producer``'s plan; raises on resource shortage.
+
+        On :class:`PoolOverflowError` the producer's old reservation has
+        already been released and its plan dropped — callers either roll
+        back via snapshots or evict nodes and call :meth:`replan` again.
+        """
+        old = self._plans.pop(producer, None)
+        if old is not None:
+            self.pools.release(old.resources)
+        if producer not in self.cluster_of:
+            return
+        plan = plan_copies(
+            self.machine,
+            producer,
+            self.cluster_of[producer],
+            self.needed_clusters(producer),
+            share_broadcast=self.share_broadcast,
+        )
+        if not plan.specs:
+            return
+        self.pools.reserve(plan.resources)  # may raise PoolOverflowError
+        self._plans[producer] = plan
+
+    def assign_unplanned(self, node_id: int, cluster: int) -> None:
+        """Record an assignment *without* replanning any copies.
+
+        Used by forced placement and conflict counting, which replan the
+        affected producers one at a time so failures can be attributed to
+        individual predecessor/successor relationships.
+        """
+        if node_id in self.cluster_of:
+            raise ValueError(f"node {node_id} is already assigned")
+        self.cluster_of[node_id] = cluster
+
+    def set_cluster(self, node_id: int, cluster: int) -> None:
+        """Assign ``node_id`` to ``cluster`` and replan affected copies.
+
+        The caller must have reserved the node's own issue slot already.
+        Raises :class:`PoolOverflowError` when some required copy does not
+        fit; state is then inconsistent and must be rolled back via
+        snapshot (tentative mode) or repaired by eviction (forced mode).
+        """
+        if node_id in self.cluster_of:
+            raise ValueError(f"node {node_id} is already assigned")
+        self.cluster_of[node_id] = cluster
+        for producer in self.affected_producers(node_id):
+            self.replan(producer)
+
+    def unassign_unplanned(self, node_id: int) -> None:
+        """Drop an assignment *without* replanning any copies.
+
+        The caller must afterwards replan every producer in
+        :meth:`affected_producers` (handling overflow by further
+        eviction): on point-to-point fabrics a shrunken consumer set can
+        reroute a plan onto different links, so even removal may demand
+        resources that are not free.
+        """
+        if node_id not in self.cluster_of:
+            raise ValueError(f"node {node_id} is not assigned")
+        del self.cluster_of[node_id]
+
+    def clear_cluster(self, node_id: int) -> None:
+        """Remove ``node_id``'s assignment and replan affected copies.
+
+        May raise :class:`PoolOverflowError` on point-to-point fabrics
+        (see :meth:`unassign_unplanned`); callers needing eviction-based
+        recovery should use ``unassign_unplanned`` + per-producer
+        ``replan`` instead.
+        """
+        self.unassign_unplanned(node_id)
+        for producer in self.affected_producers(node_id):
+            self.replan(producer)
+
+    # ------------------------------------------------------------------
+    # Snapshots (pools are snapshotted separately by the caller)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RoutingSnapshot:
+        """Capture cluster map + plans for rollback."""
+        return RoutingSnapshot(
+            cluster_of=dict(self.cluster_of), plans=dict(self._plans)
+        )
+
+    def restore(self, snap: RoutingSnapshot) -> None:
+        """Roll back to ``snap`` (pair with ``pools.restore``)."""
+        self.cluster_of = dict(snap.cluster_of)
+        self._plans = dict(snap.plans)

@@ -1,0 +1,122 @@
+"""The full two-phase compilation process (paper Figure 5).
+
+For each candidate II starting at the unified machine's MII:
+
+1. run the cluster assignment phase; on failure, restart at II + 1
+   (a fresh assignment at the larger II generally needs fewer copies than
+   patching the old one — the paper's stated reason for re-assigning);
+2. run the traditional modulo scheduler on the annotated graph; on
+   failure, again restart the whole process at II + 1.
+
+The first II at which both phases succeed is the loop's final II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ddg.graph import Ddg
+from ..ddg.mii import mii
+from ..ddg.transform import AnnotatedDdg
+from ..machine.machine import Machine
+from ..scheduling.modulo import (
+    DEFAULT_BUDGET_RATIO,
+    SchedulerStats,
+    modulo_schedule,
+)
+from ..scheduling.schedule import Schedule
+from ..scheduling.verify import assert_valid
+from .assignment import AssignmentStats, assign_clusters
+from .variants import HEURISTIC_ITERATIVE, AssignmentConfig
+
+
+class CompilationError(RuntimeError):
+    """No valid schedule was found within the II safety bound."""
+
+
+@dataclass
+class CompiledLoop:
+    """The outcome of compiling one loop for one machine."""
+
+    ddg: Ddg
+    machine: Machine
+    config: AssignmentConfig
+    ii: int
+    mii: int
+    annotated: AnnotatedDdg
+    schedule: Schedule
+    assignment_stats: AssignmentStats
+    scheduler_stats: SchedulerStats
+    attempts: int
+
+    @property
+    def copy_count(self) -> int:
+        """Copies the assignment inserted."""
+        return self.annotated.copy_count
+
+    @property
+    def ii_over_mii(self) -> int:
+        """Final II excess over the unified-machine lower bound."""
+        return self.ii - self.mii
+
+
+def ii_search_bound(ddg: Ddg) -> int:
+    """A safely large maximum II: with this much slack per iteration the
+    counting constraints cannot bind and all copies serialize freely."""
+    return ddg.total_latency() + 2 * len(ddg) + 16
+
+
+def compile_loop(
+    ddg: Ddg,
+    machine: Machine,
+    config: AssignmentConfig = HEURISTIC_ITERATIVE,
+    scheduler_budget_ratio: int = DEFAULT_BUDGET_RATIO,
+    verify: bool = False,
+    min_ii: Optional[int] = None,
+) -> CompiledLoop:
+    """Assign and modulo-schedule ``ddg`` on ``machine`` (Figure 5 loop).
+
+    ``min_ii`` overrides the starting candidate (defaults to the unified
+    machine's MII, the paper's starting point).  ``verify=True`` re-checks
+    every produced schedule with the independent validator.
+    """
+    unified = machine.unified_equivalent()
+    lower = mii(ddg, unified) if min_ii is None else max(1, min_ii)
+    upper = lower + ii_search_bound(ddg)
+    attempts = 0
+    for candidate_ii in range(lower, upper + 1):
+        attempts += 1
+        assignment_stats = AssignmentStats(ii=candidate_ii)
+        annotated = assign_clusters(
+            ddg, machine, candidate_ii, config, stats=assignment_stats
+        )
+        if annotated is None:
+            continue
+        scheduler_stats = SchedulerStats(ii=candidate_ii)
+        schedule = modulo_schedule(
+            annotated,
+            candidate_ii,
+            budget_ratio=scheduler_budget_ratio,
+            stats=scheduler_stats,
+        )
+        if schedule is None:
+            continue
+        if verify:
+            assert_valid(schedule)
+        return CompiledLoop(
+            ddg=ddg,
+            machine=machine,
+            config=config,
+            ii=candidate_ii,
+            mii=lower if min_ii is None else mii(ddg, unified),
+            annotated=annotated,
+            schedule=schedule,
+            assignment_stats=assignment_stats,
+            scheduler_stats=scheduler_stats,
+            attempts=attempts,
+        )
+    raise CompilationError(
+        f"no schedule for {ddg.name or 'loop'} on {machine.name} "
+        f"within II <= {upper}"
+    )

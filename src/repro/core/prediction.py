@@ -1,0 +1,69 @@
+"""Copy-pressure prediction: PCR, MRC and UpperBound (paper Section 4.2).
+
+The selection heuristic's line 6 keeps clusters where the *predicted copy
+requests* fit in the *room still reservable for copies*:
+
+.. math::
+
+    PCR_C = \\sum_{N_i \\in C} \\min(UpperBound(N_i),
+                                     UnassignedSuccessors(N_i))
+
+``UpperBound`` caps how many more copies a producer could ever need given
+the worst-case placement of its still-unassigned consumers:
+
+* broadcast buses: ``max(0, 1 - RC(N_i))`` — a broadcast result travels
+  at most once,
+* otherwise: ``max(0, ClusterCount - RC(N_i) - 1)`` — at most one copy
+  per other cluster.
+
+``MRC_C`` (room for additional copies out of cluster ``C``) is computed by
+:meth:`repro.mrt.pool.ResourcePools.max_reservable_copies`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ddg.graph import Ddg
+from ..machine.machine import Machine
+from .copies import RoutingState
+
+
+def upper_bound(
+    machine: Machine, routing: RoutingState, node_id: int
+) -> int:
+    """Worst-case additional copies node ``node_id`` could still need."""
+    if not routing.ddg.node(node_id).produces_value:
+        return 0
+    rc = routing.required_copies(node_id)
+    if machine.interconnect.broadcast:
+        return max(0, 1 - rc)
+    return max(0, machine.n_clusters - rc - 1)
+
+
+def predicted_copy_requests(
+    machine: Machine,
+    routing: RoutingState,
+    nodes_on_cluster: "set[int]",
+) -> int:
+    """PCR of one cluster given the nodes currently assigned to it."""
+    total = 0
+    for node_id in nodes_on_cluster:
+        bound = upper_bound(machine, routing, node_id)
+        if bound == 0:
+            continue
+        unassigned = routing.unassigned_value_consumers(node_id)
+        total += min(bound, unassigned)
+    return total
+
+
+def prediction_satisfied(
+    machine: Machine,
+    routing: RoutingState,
+    pools,
+    cluster_index: int,
+    nodes_on_cluster: "set[int]",
+) -> bool:
+    """The line-6 criterion: ``PCR_C <= MRC_C`` for one cluster."""
+    pcr = predicted_copy_requests(machine, routing, nodes_on_cluster)
+    return pcr <= pools.max_reservable_copies(cluster_index)

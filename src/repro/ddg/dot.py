@@ -1,0 +1,81 @@
+"""Graphviz DOT export for DDGs and annotated DDGs.
+
+Purely textual (no graphviz dependency): render with ``dot -Tpdf`` where
+available.  Plain graphs show opcodes and latencies; annotated graphs
+additionally group nodes into one subgraph cluster per hardware cluster
+and draw copies as diamonds, making the assignment visually checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .graph import Ddg
+from .transform import AnnotatedDdg
+
+
+def _node_label(ddg: Ddg, node_id: int) -> str:
+    node = ddg.node(node_id)
+    name = node.name or f"n{node_id}"
+    return f"{name}\\n{node.opcode.value} ({node.latency})"
+
+
+def _edge_lines(ddg: Ddg, indent: str) -> List[str]:
+    lines = []
+    for edge in ddg.edges:
+        attrs = []
+        if edge.distance > 0:
+            attrs.append(f'label="{edge.distance}"')
+            attrs.append("style=dashed")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"{indent}n{edge.src} -> n{edge.dst}{suffix};")
+    return lines
+
+
+def ddg_to_dot(ddg: Ddg, title: Optional[str] = None) -> str:
+    """Render a plain DDG as DOT; loop-carried edges are dashed and
+    labelled with their distance."""
+    name = title if title is not None else (ddg.name or "ddg")
+    lines = [f'digraph "{name}" {{', "  node [shape=box];"]
+    for node_id in ddg.node_ids:
+        lines.append(
+            f'  n{node_id} [label="{_node_label(ddg, node_id)}"];'
+        )
+    lines.extend(_edge_lines(ddg, "  "))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def annotated_to_dot(
+    annotated: AnnotatedDdg, title: Optional[str] = None
+) -> str:
+    """Render an annotated DDG: one subgraph per hardware cluster, copy
+    nodes drawn as diamonds labelled with their target clusters."""
+    ddg = annotated.ddg
+    name = title if title is not None else (ddg.name or "assigned")
+    lines = [f'digraph "{name}" {{', "  node [shape=box];"]
+    by_cluster: Dict[int, List[int]] = {}
+    for node_id, cluster in annotated.cluster_of.items():
+        by_cluster.setdefault(cluster, []).append(node_id)
+    for cluster in sorted(by_cluster):
+        lines.append(f"  subgraph cluster_{cluster} {{")
+        lines.append(f'    label="C{cluster}";')
+        for node_id in sorted(by_cluster[cluster]):
+            node = ddg.node(node_id)
+            if node.is_copy:
+                targets = ",".join(
+                    f"C{t}" for t in annotated.copy_targets[node_id]
+                )
+                lines.append(
+                    f'    n{node_id} [shape=diamond, '
+                    f'label="copy\\n-> {targets}"];'
+                )
+            else:
+                lines.append(
+                    f'    n{node_id} '
+                    f'[label="{_node_label(ddg, node_id)}"];'
+                )
+        lines.append("  }")
+    lines.extend(_edge_lines(ddg, "  "))
+    lines.append("}")
+    return "\n".join(lines)

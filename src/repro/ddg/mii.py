@@ -1,0 +1,149 @@
+"""Minimum initiation interval (MII) computation.
+
+``MII = max(RecMII, ResMII)`` (paper Section 3):
+
+* **RecMII** — the recurrence-constrained minimum: the maximum over all
+  dependence cycles of ``ceil(sum(latencies) / sum(distances))``.  We find
+  it by binary search over integer candidate IIs: a candidate ``II`` is
+  feasible iff the graph with edge weights ``latency(src) - II * distance``
+  has no strictly positive cycle, which Bellman–Ford-style longest-path
+  relaxation detects in ``O(V * E)``.
+* **ResMII** — the resource-constrained minimum: for each resource class,
+  ``ceil(uses / capacity)``, maximized over classes.  Function units are
+  fully pipelined (one issue slot per operation regardless of latency),
+  matching the paper's ``ResMII = ops / width`` example.
+
+RecMII is a property of the graph alone; ResMII needs a machine
+description, so :func:`res_mii` accepts any object exposing the small
+``issue_capacity`` protocol implemented by
+:class:`repro.machine.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .graph import Ddg
+from .opcodes import FuClass, Opcode
+
+
+def _positive_cycle_exists(
+    nodes: List[int],
+    edges: List[Tuple[int, int, int, int]],
+    candidate_ii: int,
+) -> bool:
+    """True when some cycle has ``sum(latency) - II * sum(distance) > 0``.
+
+    ``edges`` holds ``(src, dst, latency, distance)`` tuples restricted to
+    ``nodes``.  Longest-path relaxation from an implicit super-source: any
+    relaxation still possible after ``len(nodes)`` passes proves a positive
+    cycle.
+    """
+    dist = {node: 0 for node in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for src, dst, latency, distance in edges:
+            weight = latency - candidate_ii * distance
+            if dist[src] + weight > dist[dst]:
+                dist[dst] = dist[src] + weight
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def _subgraph_edges(
+    ddg: Ddg, nodes: Set[int]
+) -> List[Tuple[int, int, int, int]]:
+    """Edges of ``ddg`` with both endpoints in ``nodes``."""
+    node_set = set(nodes)
+    edges = []
+    for edge in ddg.edges:
+        if edge.src in node_set and edge.dst in node_set:
+            edges.append(
+                (edge.src, edge.dst, ddg.latency(edge.src), edge.distance)
+            )
+    return edges
+
+
+def rec_mii_of_subgraph(ddg: Ddg, nodes: Iterable[int]) -> int:
+    """RecMII contributed by the cycles inside ``nodes``.
+
+    Returns 0 when the subgraph is acyclic (imposes no recurrence bound).
+    """
+    node_list = list(nodes)
+    edges = _subgraph_edges(ddg, set(node_list))
+    if not edges:
+        return 0
+    upper = max(sum(ddg.latency(n) for n in node_list), 1)
+    # At II = sum-of-latencies any cycle with total distance >= 1 has
+    # non-positive weight, so a positive cycle there means a cycle with
+    # zero total distance: malformed input.
+    if _positive_cycle_exists(node_list, edges, upper):
+        raise ValueError(
+            "dependence cycle with zero total distance: graph is unschedulable"
+        )
+    low, high = 0, upper
+    # Invariant: high is feasible, low is infeasible (II = 0 always
+    # infeasible when a cycle exists because latencies are positive).
+    if not _positive_cycle_exists(node_list, edges, 0):
+        return 0  # No cycle at all.
+    while high - low > 1:
+        mid = (low + high) // 2
+        if _positive_cycle_exists(node_list, edges, mid):
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def rec_mii(ddg: Ddg) -> int:
+    """RecMII of the whole graph (max over its dependence cycles)."""
+    return rec_mii_of_subgraph(ddg, ddg.node_ids)
+
+
+def op_demand(ddg: Ddg) -> Dict[FuClass, int]:
+    """Count of function-unit issue slots demanded per FU class.
+
+    Copies are excluded: the paper models copies as consuming only
+    communication resources, never issue slots.
+    """
+    demand: Dict[FuClass, int] = {}
+    for node in ddg.nodes:
+        if node.is_copy:
+            continue
+        demand[node.fu_class] = demand.get(node.fu_class, 0) + 1
+    return demand
+
+
+def res_mii(ddg: Ddg, machine) -> int:
+    """ResMII of ``ddg`` on ``machine``.
+
+    ``machine`` must expose ``issue_capacity(fu_class) -> int`` returning
+    the number of units per cycle able to execute that class (for GP
+    machines this is the total width for every class) and a boolean
+    attribute ``general_purpose``.
+    """
+    demand = op_demand(ddg)
+    if not demand:
+        return 1
+    if machine.general_purpose:
+        total_ops = sum(demand.values())
+        width = machine.issue_capacity(FuClass.INTEGER)
+        if width <= 0:
+            raise ValueError("machine has no function units")
+        return max(1, -(-total_ops // width))
+    bound = 1
+    for fu_class, count in demand.items():
+        capacity = machine.issue_capacity(fu_class)
+        if capacity <= 0:
+            raise ValueError(
+                f"machine cannot execute {fu_class} operations"
+            )
+        bound = max(bound, -(-count // capacity))
+    return bound
+
+
+def mii(ddg: Ddg, machine) -> int:
+    """``max(RecMII, ResMII)`` — the modulo scheduling lower bound."""
+    return max(rec_mii(ddg), res_mii(ddg, machine), 1)

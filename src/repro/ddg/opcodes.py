@@ -1,0 +1,138 @@
+"""Operation classes and latencies for loop data dependence graphs.
+
+The paper (Table 2) fixes one latency table for every machine model:
+
+======================================== ========
+Operation                                Latency
+======================================== ========
+ALU, Shift, Branch, Store, FP-Add, Copy  1 cycle
+Load                                     2 cycles
+FP-Mult                                  3 cycles
+FP-Div, FP-SQRT                          9 cycles
+======================================== ========
+
+Each opcode also belongs to a *function-unit class* which determines the
+kind of function unit it may execute on when the machine uses fully
+specified (FS) units:
+
+* ``MEMORY``  — loads and stores,
+* ``INTEGER`` — ALU, shift, branch,
+* ``FLOAT``   — FP add/multiply/divide/sqrt.
+
+On general purpose (GP) machines every opcode may execute on any unit.
+Copy operations are special: they never occupy a function-unit issue slot,
+only communication resources (ports, buses or point-to-point links).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FuClass(enum.Enum):
+    """Function-unit class required by an operation on an FS machine."""
+
+    MEMORY = "memory"
+    INTEGER = "integer"
+    FLOAT = "float"
+    #: Pseudo-class for copies: no function unit at all.
+    NONE = "none"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FuClass.{self.name}"
+
+
+class Opcode(enum.Enum):
+    """Operation types used by the paper's loop suite (Table 2)."""
+
+    ALU = "alu"
+    SHIFT = "shift"
+    BRANCH = "branch"
+    STORE = "store"
+    LOAD = "load"
+    FP_ADD = "fp_add"
+    FP_MULT = "fp_mult"
+    FP_DIV = "fp_div"
+    FP_SQRT = "fp_sqrt"
+    #: Explicit inter-cluster communication inserted by cluster assignment.
+    COPY = "copy"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+#: Table 2 of the paper.
+LATENCY = {
+    Opcode.ALU: 1,
+    Opcode.SHIFT: 1,
+    Opcode.BRANCH: 1,
+    Opcode.STORE: 1,
+    Opcode.FP_ADD: 1,
+    Opcode.COPY: 1,
+    Opcode.LOAD: 2,
+    Opcode.FP_MULT: 3,
+    Opcode.FP_DIV: 9,
+    Opcode.FP_SQRT: 9,
+}
+
+#: Function-unit class of each opcode on a fully specified machine.
+FU_CLASS = {
+    Opcode.ALU: FuClass.INTEGER,
+    Opcode.SHIFT: FuClass.INTEGER,
+    Opcode.BRANCH: FuClass.INTEGER,
+    Opcode.STORE: FuClass.MEMORY,
+    Opcode.LOAD: FuClass.MEMORY,
+    Opcode.FP_ADD: FuClass.FLOAT,
+    Opcode.FP_MULT: FuClass.FLOAT,
+    Opcode.FP_DIV: FuClass.FLOAT,
+    Opcode.FP_SQRT: FuClass.FLOAT,
+    Opcode.COPY: FuClass.NONE,
+}
+
+#: Opcodes that produce a register value consumable by other operations.
+#: Stores and branches produce no value, so they never need copies for
+#: their (non-existent) results; they may still *consume* copied values.
+VALUE_PRODUCING = frozenset(
+    op for op in Opcode if op not in (Opcode.STORE, Opcode.BRANCH)
+)
+
+
+def latency_of(opcode: Opcode) -> int:
+    """Return the latency in cycles of ``opcode`` (Table 2)."""
+    return LATENCY[opcode]
+
+
+def fu_class_of(opcode: Opcode) -> FuClass:
+    """Return the function-unit class ``opcode`` needs on an FS machine."""
+    return FU_CLASS[opcode]
+
+
+def produces_value(opcode: Opcode) -> bool:
+    """Return True when ``opcode`` writes a register result."""
+    return opcode in VALUE_PRODUCING
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Bundled static description of one opcode."""
+
+    opcode: Opcode
+    latency: int
+    fu_class: FuClass
+    produces_value: bool
+
+    @classmethod
+    def of(cls, opcode: Opcode) -> "OpcodeInfo":
+        """Build the info record for ``opcode``."""
+        return cls(
+            opcode=opcode,
+            latency=latency_of(opcode),
+            fu_class=fu_class_of(opcode),
+            produces_value=produces_value(opcode),
+        )
+
+
+def all_opcode_info() -> "list[OpcodeInfo]":
+    """Return :class:`OpcodeInfo` for every opcode, in enum order."""
+    return [OpcodeInfo.of(op) for op in Opcode]

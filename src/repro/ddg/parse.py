@@ -1,0 +1,121 @@
+"""A small textual format for loop DDGs.
+
+One operation per line::
+
+    # comments and blank lines are ignored
+    a:  load
+    b:  fp_mult  <- a
+    c:  fp_add   <- b, c@1      # c@1 = value of c from 1 iteration ago
+    d:  store    <- c
+
+Grammar per line: ``NAME ':' OPCODE ['<-' DEP (',' DEP)*]`` where ``DEP``
+is ``NAME`` (same-iteration dependence) or ``NAME '@' DISTANCE``
+(loop-carried).  Dependences may reference operations defined later in
+the file (necessary for recurrences).
+
+``parse_loop`` builds a :class:`Ddg`; ``format_loop`` is its inverse
+(modulo comments/whitespace), so ``parse_loop(format_loop(g))`` is
+structurally identical to ``g``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .graph import Ddg
+from .opcodes import Opcode
+
+_LINE = re.compile(
+    r"^\s*(?P<name>\w+)\s*:\s*(?P<opcode>\w+)"
+    r"(?:\s*<-\s*(?P<deps>[\w@,\s]+?))?\s*$"
+)
+_DEP = re.compile(r"^(?P<name>\w+)(?:@(?P<distance>\d+))?$")
+
+_OPCODES = {opcode.value: opcode for opcode in Opcode}
+
+
+class LoopParseError(ValueError):
+    """A malformed loop description, with the offending line number."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def parse_loop(text: str, name: str = "") -> Ddg:
+    """Parse the textual loop format into a :class:`Ddg`."""
+    ops: List[Tuple[int, str, Opcode]] = []
+    deps: List[Tuple[int, str, str, int]] = []
+    seen: Dict[str, int] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            raise LoopParseError(line_number, f"cannot parse {line!r}")
+        op_name = match.group("name")
+        if op_name in seen:
+            raise LoopParseError(
+                line_number, f"operation {op_name!r} defined twice"
+            )
+        opcode_text = match.group("opcode").lower()
+        if opcode_text not in _OPCODES:
+            raise LoopParseError(
+                line_number,
+                f"unknown opcode {opcode_text!r} "
+                f"(expected one of {sorted(_OPCODES)})",
+            )
+        seen[op_name] = line_number
+        ops.append((line_number, op_name, _OPCODES[opcode_text]))
+        dep_text = match.group("deps")
+        if dep_text:
+            for chunk in dep_text.split(","):
+                chunk = chunk.strip()
+                if not chunk:
+                    continue
+                dep_match = _DEP.match(chunk)
+                if dep_match is None:
+                    raise LoopParseError(
+                        line_number, f"cannot parse dependence {chunk!r}"
+                    )
+                distance = int(dep_match.group("distance") or 0)
+                deps.append(
+                    (line_number, dep_match.group("name"), op_name, distance)
+                )
+
+    graph = Ddg(name=name)
+    ids: Dict[str, int] = {}
+    for _, op_name, opcode in ops:
+        ids[op_name] = graph.add_node(opcode, name=op_name)
+    for line_number, src_name, dst_name, distance in deps:
+        if src_name not in ids:
+            raise LoopParseError(
+                line_number, f"dependence on undefined operation {src_name!r}"
+            )
+        graph.add_edge(ids[src_name], ids[dst_name], distance=distance)
+    return graph
+
+
+def format_loop(ddg: Ddg) -> str:
+    """Serialize a :class:`Ddg` back to the textual loop format.
+
+    Node names must be unique and non-empty; unnamed nodes are emitted as
+    ``n<id>``.
+    """
+    names: Dict[int, str] = {}
+    for node in ddg.nodes:
+        names[node.node_id] = node.name or f"n{node.node_id}"
+    if len(set(names.values())) != len(names):
+        raise ValueError("node names must be unique to serialize")
+    lines = []
+    for node in ddg.nodes:
+        deps = []
+        for edge in ddg.in_edges(node.node_id):
+            src = names[edge.src]
+            deps.append(src if edge.distance == 0 else
+                        f"{src}@{edge.distance}")
+        suffix = f"  <- {', '.join(deps)}" if deps else ""
+        lines.append(f"{names[node.node_id]}: {node.opcode.value}{suffix}")
+    return "\n".join(lines) + "\n"

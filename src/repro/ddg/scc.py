@@ -1,0 +1,102 @@
+"""Strongly connected components of a DDG and their criticality.
+
+Recurrences in a loop appear as cycles in the data dependence graph, and
+every cycle lives inside a strongly connected component (SCC).  The cluster
+assignment algorithm orders nodes so that the most *constraining* SCC — the
+one with the highest RecMII — is assigned first (paper Section 4.1).
+
+A component is *non-trivial* (a real recurrence) when it contains more than
+one node, or a single node with a self-loop edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+import networkx as nx
+
+from .graph import Ddg
+from .mii import rec_mii_of_subgraph
+
+
+@dataclass(frozen=True)
+class Scc:
+    """One non-trivial strongly connected component.
+
+    ``rec_mii`` is the minimum initiation interval imposed by the
+    recurrences inside this component alone.
+    """
+
+    index: int
+    nodes: FrozenSet[int]
+    rec_mii: int
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+
+@dataclass
+class SccPartition:
+    """All non-trivial SCCs of one DDG, ordered by decreasing criticality.
+
+    Criticality order: higher ``rec_mii`` first, larger component first on
+    ties, smallest contained node id as the final deterministic tie-break.
+    ``membership`` maps each node id to the index (into ``sccs``) of its
+    component, or is absent for nodes outside every non-trivial SCC.
+    """
+
+    sccs: List[Scc]
+    membership: Dict[int, int] = field(default_factory=dict)
+
+    def scc_of(self, node_id: int) -> Optional[Scc]:
+        """Return the SCC containing ``node_id``, or None."""
+        index = self.membership.get(node_id)
+        return None if index is None else self.sccs[index]
+
+    def in_scc(self, node_id: int) -> bool:
+        """True when ``node_id`` belongs to a non-trivial SCC."""
+        return node_id in self.membership
+
+    @property
+    def scc_node_count(self) -> int:
+        """Total number of nodes inside non-trivial SCCs."""
+        return sum(len(scc) for scc in self.sccs)
+
+    def __len__(self) -> int:
+        return len(self.sccs)
+
+    def __iter__(self):
+        return iter(self.sccs)
+
+
+def find_sccs(ddg: Ddg) -> SccPartition:
+    """Partition ``ddg`` into non-trivial SCCs ordered by criticality."""
+    graph = ddg.to_networkx()
+    raw_components: List[FrozenSet[int]] = []
+    for component in nx.strongly_connected_components(graph):
+        nodes = frozenset(component)
+        if len(nodes) > 1:
+            raw_components.append(nodes)
+        else:
+            (only,) = nodes
+            if any(edge.dst == only for edge in ddg.out_edges(only)):
+                raw_components.append(nodes)
+
+    scored = []
+    for nodes in raw_components:
+        rec_mii = rec_mii_of_subgraph(ddg, nodes)
+        scored.append((rec_mii, nodes))
+    scored.sort(key=lambda item: (-item[0], -len(item[1]), min(item[1])))
+
+    sccs = [
+        Scc(index=i, nodes=nodes, rec_mii=rec_mii)
+        for i, (rec_mii, nodes) in enumerate(scored)
+    ]
+    membership = {
+        node_id: scc.index for scc in sccs for node_id in scc.nodes
+    }
+    return SccPartition(sccs=sccs, membership=membership)

@@ -1,0 +1,112 @@
+"""Annotated DDGs — the hand-off between assignment and scheduling.
+
+The cluster assignment phase outputs a *new* data flow graph "annotated to
+indicate cluster assignments and including any required copies" (paper
+Section 4).  :class:`AnnotatedDdg` is that artifact: the transformed graph,
+a node → cluster map, and for every copy node the source and target
+clusters it moves a value between.  A traditional (cluster-oblivious)
+modulo scheduler only needs ``resources_of`` to map each node to the
+machine resource pools it occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..machine.machine import Machine, ResourceKey
+from .graph import Ddg
+from .opcodes import Opcode
+
+
+@dataclass
+class AnnotatedDdg:
+    """A cluster-annotated DDG ready for modulo scheduling.
+
+    ``cluster_of`` maps every node (operations and copies) to its cluster.
+    ``copy_targets`` maps each copy node to the tuple of clusters the copy
+    writes to (always a single cluster on non-broadcast fabrics);
+    ``copy_value_of`` maps each copy node to the original node whose value
+    it transports.
+    """
+
+    ddg: Ddg
+    machine: Machine
+    cluster_of: Dict[int, int]
+    copy_targets: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    copy_value_of: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node_id in self.ddg.node_ids:
+            if node_id not in self.cluster_of:
+                raise ValueError(f"node {node_id} has no cluster assignment")
+        for copy_id in self.copy_targets:
+            if self.ddg.node(copy_id).opcode is not Opcode.COPY:
+                raise ValueError(f"node {copy_id} is not a copy")
+
+    @property
+    def copy_nodes(self) -> List[int]:
+        """All copy node ids."""
+        return [n.node_id for n in self.ddg.nodes if n.is_copy]
+
+    @property
+    def copy_count(self) -> int:
+        """Number of copy operations the assignment inserted."""
+        return len(self.copy_nodes)
+
+    def resources_of(self, node_id: int) -> List[ResourceKey]:
+        """Machine resource pools node ``node_id`` occupies per issue."""
+        node = self.ddg.node(node_id)
+        cluster = self.cluster_of[node_id]
+        if node.is_copy:
+            return self.machine.copy_hop_resources(
+                cluster, list(self.copy_targets[node_id])
+            )
+        return self.machine.op_resources(node.opcode, cluster)
+
+    def validate(self) -> None:
+        """Check structural consistency; raises :class:`ValueError`.
+
+        Verifies that every data edge either stays within a cluster or is
+        carried by a copy chain, and that copies connect reachable
+        clusters.
+        """
+        for edge in self.ddg.edges:
+            src = self.ddg.node(edge.src)
+            dst_cluster = self.cluster_of[edge.dst]
+            src_cluster = self.cluster_of[edge.src]
+            if src_cluster == dst_cluster:
+                continue
+            if src.is_copy:
+                if dst_cluster not in self.copy_targets[edge.src]:
+                    raise ValueError(
+                        f"copy {edge.src} feeds cluster {dst_cluster} but "
+                        f"targets {self.copy_targets[edge.src]}"
+                    )
+                continue
+            if not src.produces_value:
+                # Memory/control ordering edges cross clusters freely.
+                continue
+            raise ValueError(
+                f"value edge {edge.src}->{edge.dst} crosses clusters "
+                f"{src_cluster}->{dst_cluster} without a copy"
+            )
+        for copy_id, targets in self.copy_targets.items():
+            src_cluster = self.cluster_of[copy_id]
+            for target in targets:
+                if not self.machine.interconnect.reachable(src_cluster, target):
+                    raise ValueError(
+                        f"copy {copy_id} spans unreachable clusters "
+                        f"{src_cluster}->{target}"
+                    )
+
+
+def trivial_annotation(ddg: Ddg, machine: Machine) -> AnnotatedDdg:
+    """Annotate a graph for a unified machine: everything on cluster 0."""
+    if not machine.is_unified:
+        raise ValueError("trivial annotation requires a unified machine")
+    return AnnotatedDdg(
+        ddg=ddg,
+        machine=machine,
+        cluster_of={node_id: 0 for node_id in ddg.node_ids},
+    )

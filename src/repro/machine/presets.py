@@ -1,0 +1,208 @@
+"""The paper's machine configurations (Section 2.1 and Section 6).
+
+Builders for every configuration the evaluation sweeps over:
+
+* bused machines with N clusters of 4 GP units (Figures 12–17, Table 3),
+* bused machines with N clusters of 4 FS units — 1 memory, 2 integer,
+  1 float (Figures 18–19),
+* the 2×2 grid of 3-FS-unit clusters with point-to-point links
+  (Section 6, "grid" result),
+* the equally wide unified machines used as the comparison baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .cluster import ClusterSpec
+from .interconnect import (
+    BusInterconnect,
+    NoInterconnect,
+    PointToPointInterconnect,
+    grid_links,
+)
+from .machine import Machine
+from .units import (
+    PAPER_FS_MIX,
+    PAPER_GP_MIX,
+    PAPER_GRID_MIX,
+    UnitMix,
+    fs_units,
+    gp_units,
+)
+
+
+def bused_machine(
+    n_clusters: int,
+    units: UnitMix,
+    buses: int,
+    ports: int,
+    name: str = "",
+) -> Machine:
+    """A machine of ``n_clusters`` identical clusters on ``buses`` buses.
+
+    ``ports`` is the number of bus read ports *and* the number of bus
+    write ports per cluster (the paper always varies them together).
+    """
+    if n_clusters < 2:
+        raise ValueError("a bused clustered machine needs >= 2 clusters")
+    clusters = tuple(
+        ClusterSpec(index=i, units=units, read_ports=ports, write_ports=ports)
+        for i in range(n_clusters)
+    )
+    return Machine(
+        clusters=clusters,
+        interconnect=BusInterconnect(bus_count=buses),
+        name=name or f"{n_clusters}cl-b{buses}-p{ports}",
+    )
+
+
+def two_cluster_gp(buses: int = 2, ports: int = 1) -> Machine:
+    """Two clusters of 4 GP units (Figures 12, 14, 15 baseline: 2 buses,
+    1 port)."""
+    return bused_machine(
+        2, PAPER_GP_MIX, buses, ports, name=f"2cl-gp-b{buses}-p{ports}"
+    )
+
+
+def four_cluster_gp(buses: int = 4, ports: int = 2) -> Machine:
+    """Four clusters of 4 GP units (Figures 13, 16, 17 baseline: 4 buses,
+    2 ports)."""
+    return bused_machine(
+        4, PAPER_GP_MIX, buses, ports, name=f"4cl-gp-b{buses}-p{ports}"
+    )
+
+
+def n_cluster_gp(n_clusters: int, buses: int, ports: int) -> Machine:
+    """N clusters of 4 GP units (Table 3 scaling study)."""
+    return bused_machine(
+        n_clusters,
+        PAPER_GP_MIX,
+        buses,
+        ports,
+        name=f"{n_clusters}cl-gp-b{buses}-p{ports}",
+    )
+
+
+def two_cluster_fs(buses: int = 2, ports: int = 1) -> Machine:
+    """Two clusters of 4 FS units (Figure 18 baseline: 2 buses, 1 port)."""
+    return bused_machine(
+        2, PAPER_FS_MIX, buses, ports, name=f"2cl-fs-b{buses}-p{ports}"
+    )
+
+
+def four_cluster_fs(buses: int = 4, ports: int = 2) -> Machine:
+    """Four clusters of 4 FS units (Figure 19 baseline: 4 buses, 2 ports)."""
+    return bused_machine(
+        4, PAPER_FS_MIX, buses, ports, name=f"4cl-fs-b{buses}-p{ports}"
+    )
+
+
+def four_cluster_grid(ports: int = 2) -> Machine:
+    """The 2×2 grid: four clusters of 3 FS units, point-to-point links.
+
+    Each cluster connects only to its horizontal and vertical neighbor
+    (Figure 4).  The paper does not state grid port counts; we default to
+    2 read / 2 write ports per cluster — one per incident link — so the
+    fabric, not the ports, is the binding constraint, matching the paper's
+    emphasis on "limited communication, no buses for broadcasting".
+    """
+    clusters = tuple(
+        ClusterSpec(
+            index=i, units=PAPER_GRID_MIX, read_ports=ports, write_ports=ports
+        )
+        for i in range(4)
+    )
+    return Machine(
+        clusters=clusters,
+        interconnect=PointToPointInterconnect(grid_links(2, 2)),
+        name=f"4cl-grid-p{ports}",
+    )
+
+
+def ring_machine(
+    n_clusters: int, units: UnitMix, ports: int = 2, name: str = ""
+) -> Machine:
+    """N clusters on a bidirectional point-to-point ring.
+
+    Not one of the paper's three main organizations, but exactly the
+    kind of "arbitrary numbers of point-to-point connections" its
+    Section 2.1 says the technique covers; worst-case copy chains are
+    ``floor(N/2)`` hops long.
+    """
+    if n_clusters < 3:
+        raise ValueError("a ring needs >= 3 clusters")
+    clusters = tuple(
+        ClusterSpec(index=i, units=units, read_ports=ports,
+                    write_ports=ports)
+        for i in range(n_clusters)
+    )
+    links = [(i, (i + 1) % n_clusters) for i in range(n_clusters)]
+    return Machine(
+        clusters=clusters,
+        interconnect=PointToPointInterconnect(links),
+        name=name or f"{n_clusters}cl-ring-p{ports}",
+    )
+
+
+def heterogeneous_gp(
+    widths: List[int], buses: int, ports: int, name: str = ""
+) -> Machine:
+    """A bused machine whose clusters have *different* GP widths.
+
+    The paper notes its techniques cover clusters "homogeneous or
+    heterogeneous in the types of function units they contain"
+    (Section 2.1); this builder exercises the heterogeneous case (the
+    selection heuristic's free-resource and prediction terms naturally
+    handle unequal clusters).
+    """
+    if len(widths) < 2:
+        raise ValueError("a clustered machine needs >= 2 clusters")
+    clusters = tuple(
+        ClusterSpec(
+            index=i, units=gp_units(width),
+            read_ports=ports, write_ports=ports,
+        )
+        for i, width in enumerate(widths)
+    )
+    return Machine(
+        clusters=clusters,
+        interconnect=BusInterconnect(bus_count=buses),
+        name=name or "het-" + "x".join(str(w) for w in widths),
+    )
+
+
+def unified_gp(width: int) -> Machine:
+    """A unified GP machine of the given total width."""
+    cluster = ClusterSpec(
+        index=0, units=gp_units(width), read_ports=0, write_ports=0
+    )
+    return Machine(
+        clusters=(cluster,),
+        interconnect=NoInterconnect(),
+        name=f"unified-gp{width}",
+    )
+
+
+def unified_fs(memory: int, integer: int, floating: int) -> Machine:
+    """A unified FS machine with the given per-class unit counts."""
+    cluster = ClusterSpec(
+        index=0,
+        units=fs_units(memory, integer, floating),
+        read_ports=0,
+        write_ports=0,
+    )
+    return Machine(
+        clusters=(cluster,),
+        interconnect=NoInterconnect(),
+        name=f"unified-fs-m{memory}i{integer}f{floating}",
+    )
+
+
+#: Table 3 sweet spots: (clusters, buses, ports) per the paper.
+TABLE3_CONFIGS: List[Tuple[int, int, int]] = [
+    (2, 2, 1),
+    (4, 4, 2),
+    (6, 6, 3),
+    (8, 7, 3),
+]

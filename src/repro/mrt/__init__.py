@@ -1,0 +1,6 @@
+"""Modulo reservation tables: counting pools and time-indexed tables."""
+
+from .pool import PoolOverflowError, ResourcePools
+from .table import ModuloReservationTable
+
+__all__ = ["ModuloReservationTable", "PoolOverflowError", "ResourcePools"]

@@ -1,0 +1,177 @@
+"""Counting modulo reservation tables for the assignment phase.
+
+During cluster assignment operations are not yet placed in specific
+cycles; what matters is whether the modulo-scheduled kernel of length II
+*can* hold them.  Since every operation occupies exactly one slot of each
+resource it uses (units are fully pipelined, copies take one cycle), an
+MRT of length II with ``k`` units per cycle is, for assignment purposes, a
+pool of ``k * II`` slots (this is exactly how the paper's Figures 7–8
+treat the MRTs: as boxes filled by ops, without cycle positions).
+
+:class:`ResourcePools` tracks one such pool per machine resource key and
+supports transactional use: the assignment algorithm snapshots the pools,
+tentatively applies an assignment, records the outcome, and rolls back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..machine.machine import Machine, ResourceKey
+
+
+class PoolOverflowError(RuntimeError):
+    """Raised when a reservation would exceed a pool's capacity."""
+
+    def __init__(self, key: ResourceKey, capacity: int) -> None:
+        super().__init__(f"resource pool {key!r} exhausted (capacity {capacity})")
+        self.key = key
+        self.capacity = capacity
+
+
+class ResourcePools:
+    """Per-resource slot counters of an assignment-phase MRT of length II."""
+
+    def __init__(self, machine: Machine, ii: int) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.machine = machine
+        self.ii = ii
+        self._capacity: Dict[ResourceKey, int] = {
+            key: per_cycle * ii
+            for key, per_cycle in machine.resource_capacities().items()
+        }
+        self._used: Dict[ResourceKey, int] = {key: 0 for key in self._capacity}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def capacity(self, key: ResourceKey) -> int:
+        """Total slots of ``key`` over the whole kernel (per-cycle × II)."""
+        return self._capacity[key]
+
+    def used(self, key: ResourceKey) -> int:
+        """Slots of ``key`` currently reserved."""
+        return self._used[key]
+
+    def free(self, key: ResourceKey) -> int:
+        """Slots of ``key`` still available."""
+        return self._capacity[key] - self._used[key]
+
+    def keys(self) -> List[ResourceKey]:
+        """All pool keys."""
+        return list(self._capacity)
+
+    def can_reserve(self, keys: Iterable[ResourceKey]) -> bool:
+        """True when one slot of each key in ``keys`` is available.
+
+        ``keys`` may repeat a key; repetitions demand multiple slots.
+        """
+        demand: Dict[ResourceKey, int] = {}
+        for key in keys:
+            demand[key] = demand.get(key, 0) + 1
+        return all(
+            self._used[key] + count <= self._capacity[key]
+            for key, count in demand.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def reserve(self, keys: Iterable[ResourceKey]) -> None:
+        """Reserve one slot per key; raises and leaves state unchanged on
+        overflow."""
+        key_list = list(keys)
+        if not self.can_reserve(key_list):
+            for key in key_list:
+                if self._used[key] >= self._capacity[key]:
+                    raise PoolOverflowError(key, self._capacity[key])
+            # Overflow came from repetition within key_list.
+            demand: Dict[ResourceKey, int] = {}
+            for key in key_list:
+                demand[key] = demand.get(key, 0) + 1
+            for key, count in demand.items():
+                if self._used[key] + count > self._capacity[key]:
+                    raise PoolOverflowError(key, self._capacity[key])
+        for key in key_list:
+            self._used[key] += 1
+
+    def release(self, keys: Iterable[ResourceKey]) -> None:
+        """Release one slot per key (must have been reserved)."""
+        for key in keys:
+            if self._used[key] <= 0:
+                raise ValueError(f"releasing unreserved resource {key!r}")
+            self._used[key] -= 1
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[ResourceKey, int]:
+        """Snapshot the current usage counters."""
+        return dict(self._used)
+
+    def restore(self, snapshot: Dict[ResourceKey, int]) -> None:
+        """Roll usage counters back to ``snapshot``."""
+        self._used = dict(snapshot)
+
+    # ------------------------------------------------------------------
+    # Cluster-level summaries used by the selection heuristic
+    # ------------------------------------------------------------------
+    def free_issue_slots(self, cluster_index: int) -> int:
+        """Free function-unit slots on one cluster (all classes pooled)."""
+        total = 0
+        for key in self._capacity:
+            if (
+                isinstance(key, tuple)
+                and len(key) == 3
+                and key[0] == "issue"
+                and key[1] == cluster_index
+            ):
+                total += self.free(key)
+        return total
+
+    def free_cluster_slots(self, cluster_index: int) -> int:
+        """Free slots of every pool local to one cluster (issue + ports).
+
+        This is the "free resources on the cluster" quantity maximized by
+        the last selection of the paper's Figure 10.
+        """
+        total = self.free_issue_slots(cluster_index)
+        if not self.machine.is_unified:
+            total += self.free(self.machine.read_port_key(cluster_index))
+            total += self.free(self.machine.write_port_key(cluster_index))
+        return total
+
+    def free_channel_slots_from(self, cluster_index: int) -> int:
+        """Free channel slots usable by copies leaving ``cluster_index``.
+
+        For buses this is the free bus slots; for point-to-point fabrics it
+        is the sum of free slots on links incident to the cluster.
+        """
+        interconnect = self.machine.interconnect
+        total = 0
+        for key, per_cycle in interconnect.channel_resources().items():
+            if key == "bus":
+                total += self.free(key)
+            elif isinstance(key, tuple) and key[0] == "link":
+                if cluster_index in key[1:]:
+                    total += self.free(key)
+        return total
+
+    def max_reservable_copies(self, cluster_index: int) -> int:
+        """MRC_C — room for additional copies out of cluster C.
+
+        A copy out of C consumes one of C's read ports and one channel
+        slot, so the room is the smaller of the two (target-side write
+        ports are not charged: the targets are unknown at prediction
+        time, exactly as in the paper's definition of MRC).
+        """
+        if self.machine.is_unified:
+            return 0
+        read_free = self.free(self.machine.read_port_key(cluster_index))
+        return min(read_free, self.free_channel_slots_from(cluster_index))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        used = sum(self._used.values())
+        cap = sum(self._capacity.values())
+        return f"ResourcePools(ii={self.ii}, used={used}/{cap})"

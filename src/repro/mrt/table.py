@@ -1,0 +1,127 @@
+"""Time-indexed modulo reservation table for the scheduling phase.
+
+The scheduler places operation ``op`` at absolute cycle ``t``; in the
+software-pipelined kernel it occupies its resources in row ``t mod II``.
+The table tracks, per resource key and row, which operations hold slots,
+which lets the iterative scheduler both test availability and identify the
+holders it must displace when forcing a placement (Rau's iterative modulo
+scheduling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from ..machine.machine import Machine, ResourceKey
+
+OpId = Hashable
+
+
+class ModuloReservationTable:
+    """Per-cycle-row resource occupancy of a kernel of length II."""
+
+    def __init__(self, machine: Machine, ii: int) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.machine = machine
+        self.ii = ii
+        self._capacity: Dict[ResourceKey, int] = machine.resource_capacities()
+        # (key, row) -> list of op ids holding a slot there.
+        self._slots: Dict[Tuple[ResourceKey, int], List[OpId]] = {}
+        # op id -> list of (key, row) it holds.
+        self._held: Dict[OpId, List[Tuple[ResourceKey, int]]] = {}
+
+    def row(self, cycle: int) -> int:
+        """Kernel row of an absolute cycle."""
+        return cycle % self.ii
+
+    def _occupancy(self, key: ResourceKey, row: int) -> List[OpId]:
+        return self._slots.get((key, row), [])
+
+    def available(
+        self, keys: Iterable[ResourceKey], cycle: int
+    ) -> bool:
+        """True when one slot of every key is free in ``cycle``'s row."""
+        row = self.row(cycle)
+        demand: Dict[ResourceKey, int] = {}
+        for key in keys:
+            demand[key] = demand.get(key, 0) + 1
+        for key, count in demand.items():
+            capacity = self._capacity.get(key)
+            if capacity is None:
+                raise KeyError(f"unknown resource key {key!r}")
+            if len(self._occupancy(key, row)) + count > capacity:
+                return False
+        return True
+
+    def conflicting_ops(
+        self, keys: Iterable[ResourceKey], cycle: int
+    ) -> Set[OpId]:
+        """Operations currently holding the slots ``keys`` needs at
+        ``cycle``.
+
+        Used by forced placement: displacing all of them guarantees the
+        reservation will fit (each key's full row occupancy is returned
+        when the row is saturated for that key).
+        """
+        row = self.row(cycle)
+        conflicting: Set[OpId] = set()
+        demand: Dict[ResourceKey, int] = {}
+        for key in keys:
+            demand[key] = demand.get(key, 0) + 1
+        for key, count in demand.items():
+            holders = self._occupancy(key, row)
+            if len(holders) + count > self._capacity[key]:
+                conflicting.update(holders)
+        return conflicting
+
+    def place(
+        self, op_id: OpId, keys: Iterable[ResourceKey], cycle: int
+    ) -> None:
+        """Reserve one slot of each key at ``cycle`` for ``op_id``."""
+        if op_id in self._held:
+            raise ValueError(f"operation {op_id!r} is already placed")
+        key_list = list(keys)
+        if not self.available(key_list, cycle):
+            raise RuntimeError(
+                f"resources for {op_id!r} unavailable at cycle {cycle}"
+            )
+        row = self.row(cycle)
+        held = []
+        for key in key_list:
+            self._slots.setdefault((key, row), []).append(op_id)
+            held.append((key, row))
+        self._held[op_id] = held
+
+    def remove(self, op_id: OpId) -> None:
+        """Release every slot held by ``op_id``."""
+        held = self._held.pop(op_id, None)
+        if held is None:
+            raise ValueError(f"operation {op_id!r} is not placed")
+        for key, row in held:
+            self._slots[(key, row)].remove(op_id)
+
+    def is_placed(self, op_id: OpId) -> bool:
+        """True when ``op_id`` currently holds slots."""
+        return op_id in self._held
+
+    def placed_ops(self) -> List[OpId]:
+        """All operations currently holding slots."""
+        return list(self._held)
+
+    def utilization(self) -> Dict[ResourceKey, float]:
+        """Fraction of each resource's kernel slots in use."""
+        usage: Dict[ResourceKey, int] = {key: 0 for key in self._capacity}
+        for (key, _row), holders in self._slots.items():
+            usage[key] += len(holders)
+        return {
+            key: usage[key] / (self._capacity[key] * self.ii)
+            for key in self._capacity
+            if self._capacity[key] > 0
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModuloReservationTable(ii={self.ii}, "
+            f"placed={len(self._held)})"
+        )

@@ -1,0 +1,28 @@
+"""Register allocation for software-pipelined loops (MVE packing)."""
+
+from .lifetimes import Lifetime, extract_lifetimes
+from .mve import (
+    MveAllocation,
+    RegisterAssignment,
+    allocate_mve,
+    verify_allocation,
+)
+from .rotating import (
+    RotatingAllocation,
+    RotatingAssignment,
+    allocate_rotating,
+    verify_rotating,
+)
+
+__all__ = [
+    "Lifetime",
+    "MveAllocation",
+    "RegisterAssignment",
+    "RotatingAllocation",
+    "RotatingAssignment",
+    "allocate_mve",
+    "allocate_rotating",
+    "extract_lifetimes",
+    "verify_allocation",
+    "verify_rotating",
+]

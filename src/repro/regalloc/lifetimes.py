@@ -1,0 +1,81 @@
+"""Value lifetimes of a modulo schedule.
+
+A value is born when its producer completes and dies at its last read
+(``II × distance`` later for loop-carried reads).  Because the kernel
+repeats every II cycles, a lifetime is a *cyclic* interval once the
+schedule reaches steady state; register allocation for software
+pipelines is therefore cyclic-interval packing (Rau et al., PLDI'92 —
+the paper's reference [21]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """One value's live range in absolute cycles of iteration 0."""
+
+    producer: int
+    cluster: int
+    birth: int
+    death: int
+
+    @property
+    def length(self) -> int:
+        """Cycles the value stays live (0 = consumed as produced)."""
+        return max(0, self.death - self.birth)
+
+    def instances(self, ii: int) -> int:
+        """Simultaneously-live copies of this value in steady state."""
+        return max(1, -(-self.length // ii))
+
+
+def extract_lifetimes(schedule: Schedule) -> List[Lifetime]:
+    """Lifetimes of every value the loop produces and consumes.
+
+    Copies count as producers too: the transported value occupies a
+    register in each *target* cluster's file from the copy's completion
+    to its last read there — exactly the per-cluster storage the
+    clustered hardware provides.  Values with no consumers need no
+    register and are omitted.
+    """
+    annotated = schedule.annotated
+    ddg = annotated.ddg
+    ii = schedule.ii
+    lifetimes: List[Lifetime] = []
+    for node in ddg.nodes:
+        if not node.produces_value:
+            continue
+        uses = ddg.out_edges(node.node_id)
+        if not uses:
+            continue
+        birth = schedule.start[node.node_id] + node.latency
+        if node.is_copy:
+            clusters = list(annotated.copy_targets[node.node_id])
+        else:
+            clusters = [annotated.cluster_of[node.node_id]]
+        for cluster in clusters:
+            # The value dies at its last read *on this cluster* (a
+            # broadcast copy's value may retire earlier on one target
+            # than another).
+            reads = [
+                schedule.start[edge.dst] + ii * edge.distance
+                for edge in uses
+                if annotated.cluster_of[edge.dst] == cluster
+            ]
+            if not reads:
+                continue
+            lifetimes.append(
+                Lifetime(
+                    producer=node.node_id,
+                    cluster=cluster,
+                    birth=birth,
+                    death=max(reads),
+                )
+            )
+    return lifetimes

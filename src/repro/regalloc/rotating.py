@@ -1,0 +1,154 @@
+"""Rotating register file allocation (Rau et al., PLDI'92).
+
+The Cydra 5 — the machine whose compiler produced the paper's input
+loops — renamed software-pipeline values in hardware: a *rotating*
+register file decrements its base every kernel iteration, so iteration
+``i``'s instance of a value automatically lands in a different physical
+register than iteration ``i+1``'s, with **no kernel unrolling at all**
+(the alternative, modulo variable expansion, is in
+:mod:`repro.regalloc.mve`).
+
+Allocation model: unroll the (register × time) plane along the rotation
+into a single circle of circumference ``R × II``, where ``R`` is the
+rotating file's size.  A value born at cycle ``b`` with lifetime ``L``
+and allocated rotating index ``s`` occupies the arc
+``[b + s*II, b + s*II + L)`` (mod ``R*II``); two values conflict exactly
+when their arcs overlap.  Allocation is therefore circular-arc packing:
+we search the smallest ``R`` for which first-fit-decreasing placement
+succeeds, per cluster.  An independent verifier re-checks arc
+disjointness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..scheduling.schedule import Schedule
+from .lifetimes import Lifetime, extract_lifetimes
+
+
+@dataclass(frozen=True)
+class RotatingAssignment:
+    """One value mapped to a rotating register index."""
+
+    producer: int
+    cluster: int
+    rotating_index: int
+    arc_start: int
+    length: int
+
+
+@dataclass
+class RotatingAllocation:
+    """Complete rotating-file allocation of one schedule."""
+
+    ii: int
+    assignments: List[RotatingAssignment] = field(default_factory=list)
+    file_size_per_cluster: Dict[int, int] = field(default_factory=dict)
+
+    def file_size(self, cluster: int) -> int:
+        """Rotating registers the allocation uses on one cluster."""
+        return self.file_size_per_cluster.get(cluster, 0)
+
+    @property
+    def total_registers(self) -> int:
+        """Rotating registers across all clusters."""
+        return sum(self.file_size_per_cluster.values())
+
+
+def _arc_cycles(start: int, length: int, circumference: int) -> List[int]:
+    """Circle positions an arc occupies (length clamped to the circle)."""
+    length = max(1, length)
+    return [
+        (start + offset) % circumference
+        for offset in range(min(length, circumference))
+    ]
+
+
+def _try_pack(
+    lifetimes: List[Lifetime], ii: int, file_size: int
+) -> Optional[List[RotatingAssignment]]:
+    """First-fit-decreasing arc packing at one candidate file size."""
+    circumference = file_size * ii
+    occupied = [False] * circumference
+    assignments: List[RotatingAssignment] = []
+    for lifetime in lifetimes:
+        if lifetime.length >= circumference:
+            return None  # arc would lap itself: file too small
+        placed = False
+        for index in range(file_size):
+            start = (lifetime.birth + index * ii) % circumference
+            cycles = _arc_cycles(start, lifetime.length, circumference)
+            if all(not occupied[c] for c in cycles):
+                for c in cycles:
+                    occupied[c] = True
+                assignments.append(
+                    RotatingAssignment(
+                        producer=lifetime.producer,
+                        cluster=lifetime.cluster,
+                        rotating_index=index,
+                        arc_start=start,
+                        length=lifetime.length,
+                    )
+                )
+                placed = True
+                break
+        if not placed:
+            return None
+    return assignments
+
+
+def allocate_rotating(
+    schedule: Schedule, max_file_size: int = 512
+) -> RotatingAllocation:
+    """Allocate rotating registers for ``schedule`` per cluster."""
+    ii = schedule.ii
+    allocation = RotatingAllocation(ii=ii)
+    by_cluster: Dict[int, List[Lifetime]] = {}
+    for lifetime in extract_lifetimes(schedule):
+        by_cluster.setdefault(lifetime.cluster, []).append(lifetime)
+    for cluster, lifetimes in sorted(by_cluster.items()):
+        lifetimes.sort(key=lambda lt: (-lt.length, lt.producer))
+        # Lower bound: total occupied cycles cannot exceed R * II.
+        total = sum(max(1, lt.length) for lt in lifetimes)
+        lower = max(1, -(-total // ii))
+        chosen = None
+        for file_size in range(lower, max_file_size + 1):
+            assignments = _try_pack(lifetimes, ii, file_size)
+            if assignments is not None:
+                chosen = (file_size, assignments)
+                break
+        if chosen is None:
+            raise RuntimeError(
+                f"rotating allocation exceeded {max_file_size} registers "
+                f"on cluster {cluster}"
+            )
+        file_size, assignments = chosen
+        allocation.file_size_per_cluster[cluster] = file_size
+        allocation.assignments.extend(assignments)
+    return allocation
+
+
+def verify_rotating(allocation: RotatingAllocation) -> List[str]:
+    """Independent arc-disjointness check (empty list = valid)."""
+    problems: List[str] = []
+    by_cluster: Dict[int, List[RotatingAssignment]] = {}
+    for assignment in allocation.assignments:
+        by_cluster.setdefault(assignment.cluster, []).append(assignment)
+    for cluster, assignments in by_cluster.items():
+        circumference = allocation.file_size(cluster) * allocation.ii
+        owner: Dict[int, RotatingAssignment] = {}
+        for assignment in assignments:
+            for cycle in _arc_cycles(
+                assignment.arc_start, assignment.length, circumference
+            ):
+                other = owner.get(cycle)
+                if other is not None:
+                    problems.append(
+                        f"C{cluster} circle cycle {cycle}: value "
+                        f"{assignment.producer} collides with "
+                        f"{other.producer}"
+                    )
+                owner[cycle] = assignment
+    return problems

@@ -1,0 +1,203 @@
+"""Iterative modulo scheduling (Rau, MICRO-27 1994).
+
+This is the paper's phase two: a traditional, cluster-oblivious modulo
+scheduler.  It sees only an annotated DDG whose nodes each occupy a fixed
+set of machine resource pools — clustering shows up purely as which pools
+a node needs, exactly as the paper intends ("any traditional modulo
+scheduling algorithm, having no knowledge of clustering, can produce a
+valid and efficient schedule").
+
+Algorithm (Rau's formulation):
+
+1. Order operations by priority (height-based; we use the SMS order,
+   which the paper's Section 5 reports using as well).
+2. Repeatedly take the highest-priority unscheduled op; compute its
+   earliest start from its *scheduled* predecessors; scan the II-wide
+   window for a slot with free resources.
+3. If no slot is free, *force* placement (at the earliest start, or just
+   past the op's previous placement to guarantee progress) and displace
+   every op that conflicts in resources or violates a dependence to the
+   newly placed op.
+4. A budget of ``budget_ratio × n_ops`` placements bounds the effort at
+   one II; exhausting it means failure at this II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..ddg.mii import rec_mii
+from ..ddg.transform import AnnotatedDdg
+from ..mrt.table import ModuloReservationTable
+from .priority import compute_metrics
+from .schedule import Schedule
+from .swing import assignment_order
+
+#: Default placement budget multiplier (Rau reports 3–6 works well).
+DEFAULT_BUDGET_RATIO = 6
+
+
+@dataclass
+class SchedulerStats:
+    """Bookkeeping from one scheduling attempt."""
+
+    ii: int
+    placements: int = 0
+    evictions: int = 0
+    succeeded: bool = False
+
+
+def modulo_schedule(
+    annotated: AnnotatedDdg,
+    ii: int,
+    budget_ratio: int = DEFAULT_BUDGET_RATIO,
+    stats: Optional[SchedulerStats] = None,
+) -> Optional[Schedule]:
+    """Attempt a modulo schedule of ``annotated`` at initiation interval
+    ``ii``; returns None when the placement budget runs out."""
+    ddg = annotated.ddg
+    if len(ddg) == 0:
+        raise ValueError("cannot schedule an empty graph")
+    if rec_mii(ddg) > ii:
+        # Copies inserted on a recurrence raised RecMII past this II
+        # (the paper's Observation Two): provably unschedulable here.
+        return None
+
+    order = assignment_order(ddg, ii)
+    rank = {node_id: index for index, node_id in enumerate(order)}
+    resources = {
+        node_id: annotated.resources_of(node_id) for node_id in ddg.node_ids
+    }
+    metrics = compute_metrics(ddg, ii)
+
+    mrt = ModuloReservationTable(annotated.machine, ii)
+    start: Dict[int, int] = {}
+    previous_start: Dict[int, int] = {}
+    unscheduled: Set[int] = set(ddg.node_ids)
+    budget = max(budget_ratio * len(ddg), len(ddg) + 1)
+
+    def earliest_start(node_id: int) -> Optional[int]:
+        """Tightest lower bound from *scheduled* predecessors."""
+        bound: Optional[int] = None
+        for edge in ddg.in_edges(node_id):
+            if edge.src in start and edge.src != node_id:
+                candidate = (
+                    start[edge.src]
+                    + ddg.latency(edge.src)
+                    - ii * edge.distance
+                )
+                if bound is None or candidate > bound:
+                    bound = candidate
+        return bound
+
+    def latest_start(node_id: int) -> Optional[int]:
+        """Tightest upper bound from *scheduled* successors."""
+        bound: Optional[int] = None
+        for edge in ddg.out_edges(node_id):
+            if edge.dst in start and edge.dst != node_id:
+                candidate = (
+                    start[edge.dst]
+                    - ddg.latency(node_id)
+                    + ii * edge.distance
+                )
+                if bound is None or candidate < bound:
+                    bound = candidate
+        return bound
+
+    def displace(node_id: int) -> None:
+        mrt.remove(node_id)
+        del start[node_id]
+        unscheduled.add(node_id)
+        if stats is not None:
+            stats.evictions += 1
+
+    while unscheduled:
+        if budget <= 0:
+            return None
+        budget -= 1
+        node_id = min(unscheduled, key=lambda n: rank[n])
+        keys = resources[node_id]
+        estart = earliest_start(node_id)
+        lstart = latest_start(node_id)
+
+        # Bidirectional window (Swing Modulo Scheduling): scan upward from
+        # scheduled predecessors, downward toward scheduled successors,
+        # and from ASAP when the node has no scheduled neighbors yet.
+        if estart is not None:
+            window = range(estart, min(
+                estart + ii,
+                (lstart + 1) if lstart is not None else estart + ii,
+            ))
+            forced_time = estart
+        elif lstart is not None:
+            window = range(lstart, lstart - ii, -1)
+            forced_time = lstart
+        else:
+            base = metrics.asap[node_id]
+            window = range(base, base + ii)
+            forced_time = base
+
+        chosen: Optional[int] = None
+        for t in window:
+            if mrt.available(keys, t):
+                chosen = t
+                break
+        if chosen is None:
+            chosen = forced_time
+            if node_id in previous_start:
+                chosen = max(forced_time, previous_start[node_id] + 1)
+
+        # Displace resource conflicts at the chosen row.
+        for victim in list(mrt.conflicting_ops(keys, chosen)):
+            displace(victim)
+        mrt.place(node_id, keys, chosen)
+        start[node_id] = chosen
+        previous_start[node_id] = chosen
+        unscheduled.discard(node_id)
+        if stats is not None:
+            stats.placements += 1
+
+        # Displace scheduled neighbors whose dependence the placement
+        # violates (successors too early, predecessors too late — the
+        # latter can happen after a forced or downward placement).
+        for edge in ddg.out_edges(node_id):
+            if edge.dst in start and edge.dst != node_id:
+                needed = chosen + ddg.latency(node_id) - ii * edge.distance
+                if start[edge.dst] < needed:
+                    displace(edge.dst)
+        for edge in ddg.in_edges(node_id):
+            if edge.src in start and edge.src != node_id:
+                limit = chosen - ddg.latency(edge.src) + ii * edge.distance
+                if start[edge.src] > limit:
+                    displace(edge.src)
+
+    # Normalize to non-negative cycles with a multiple-of-II shift so
+    # kernel rows (start mod II) are unchanged.
+    lowest = min(start.values())
+    if lowest < 0:
+        shift = ((-lowest + ii - 1) // ii) * ii
+        start = {node_id: t + shift for node_id, t in start.items()}
+    schedule = Schedule(annotated=annotated, ii=ii, start=start)
+    if stats is not None:
+        stats.succeeded = True
+    return schedule
+
+
+def schedule_with_ii_search(
+    annotated: AnnotatedDdg,
+    min_ii: int,
+    max_ii: int,
+    budget_ratio: int = DEFAULT_BUDGET_RATIO,
+) -> Optional[Schedule]:
+    """Schedule at the smallest feasible II in ``[min_ii, max_ii]``.
+
+    This is the classic modulo scheduling driver for the unified baseline;
+    clustered machines instead re-run *assignment* at each II (paper
+    Figure 5), see :mod:`repro.core.driver`.
+    """
+    for ii in range(max(1, min_ii), max_ii + 1):
+        schedule = modulo_schedule(annotated, ii, budget_ratio=budget_ratio)
+        if schedule is not None:
+            return schedule
+    return None

@@ -1,0 +1,75 @@
+"""Modulo schedule records.
+
+A modulo schedule maps each operation to an absolute start cycle; the
+software-pipelined kernel has length II, operation ``op`` occupies kernel
+row ``start[op] % II`` in stage ``start[op] // II``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..ddg.transform import AnnotatedDdg
+
+
+@dataclass
+class Schedule:
+    """A complete modulo schedule of one annotated loop."""
+
+    annotated: AnnotatedDdg
+    ii: int
+    start: Dict[int, int]
+
+    def __post_init__(self) -> None:
+        missing = set(self.annotated.ddg.node_ids) - set(self.start)
+        if missing:
+            raise ValueError(f"schedule misses nodes {sorted(missing)}")
+
+    def row(self, node_id: int) -> int:
+        """Kernel row (cycle within the II-long kernel) of a node."""
+        return self.start[node_id] % self.ii
+
+    def stage(self, node_id: int) -> int:
+        """Pipeline stage of a node."""
+        return self.start[node_id] // self.ii
+
+    @property
+    def stage_count(self) -> int:
+        """Number of kernel stages (depth of the software pipeline)."""
+        return max(self.stage(n) for n in self.start) + 1
+
+    @property
+    def makespan(self) -> int:
+        """Cycles from the first issue to the last completion of one
+        iteration."""
+        ddg = self.annotated.ddg
+        return max(
+            self.start[n] + ddg.latency(n) for n in self.start
+        ) - min(self.start.values())
+
+    def kernel_rows(self) -> List[List[int]]:
+        """Node ids per kernel row, ordered by row then start cycle."""
+        rows: List[List[int]] = [[] for _ in range(self.ii)]
+        for node_id in sorted(self.start, key=lambda n: self.start[n]):
+            rows[self.row(node_id)].append(node_id)
+        return rows
+
+    def format_kernel(self) -> str:
+        """Human-readable kernel: one line per row, ops with clusters."""
+        ddg = self.annotated.ddg
+        lines = []
+        for row_index, row in enumerate(self.kernel_rows()):
+            cells = []
+            for node_id in row:
+                node = ddg.node(node_id)
+                cluster = self.annotated.cluster_of[node_id]
+                cells.append(f"{node}@C{cluster}(s{self.stage(node_id)})")
+            lines.append(f"row {row_index:>3}: " + "  ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(ii={self.ii}, ops={len(self.start)}, "
+            f"stages={self.stage_count})"
+        )

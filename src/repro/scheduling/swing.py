@@ -1,0 +1,137 @@
+"""Swing Modulo Scheduling node ordering (Llosa et al., PACT'96).
+
+The SMS ordering lists each node, whenever possible, only after *all* of
+its predecessors or *all* of its successors are listed.  The paper reuses
+this ordering inside the cluster assignment phase (Section 4.1) because it
+minimizes the chance of assigning both a node's predecessors and its
+successors to clusters before the node itself — the situation that forces
+unavoidable copies.
+
+The algorithm works over an ordered list of node *sets* (here: non-trivial
+SCCs by decreasing RecMII, then all remaining nodes) and sweeps each set
+alternately top-down (after predecessors) and bottom-up (after
+successors):
+
+* top-down picks, among ready candidates, the node with the greatest
+  height (most critical downstream chain), tie-broken by lowest mobility;
+* bottom-up symmetric with depth.
+
+When a set has no ordered neighbors yet, the sweep starts top-down from
+the set's highest node (the published algorithm leaves this seed choice
+loose; any critical-source seed preserves its guarantees).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from ..ddg.graph import Ddg
+from ..ddg.scc import SccPartition, find_sccs
+from .priority import PriorityMetrics, compute_metrics
+
+TOP_DOWN = "top-down"
+BOTTOM_UP = "bottom-up"
+
+
+def ordering_sets(ddg: Ddg, partition: SccPartition) -> List[Set[int]]:
+    """The ordered list of node sets the paper's Section 4.1 prescribes.
+
+    Non-trivial SCCs in decreasing criticality, then one final set with
+    every remaining node.  Empty sets are omitted.
+    """
+    sets: List[Set[int]] = [set(scc.nodes) for scc in partition.sccs]
+    rest = {
+        node_id for node_id in ddg.node_ids
+        if not partition.in_scc(node_id)
+    }
+    if rest:
+        sets.append(rest)
+    return sets
+
+
+def _pick(
+    candidates: Iterable[int],
+    primary: "dict[int, int]",
+    metrics: PriorityMetrics,
+) -> int:
+    """Highest ``primary`` value; ties: lowest mobility, then lowest id."""
+    return min(
+        candidates,
+        key=lambda n: (-primary[n], metrics.mobility(n), n),
+    )
+
+
+def swing_order(
+    ddg: Ddg,
+    sets: Sequence[Set[int]],
+    metrics: PriorityMetrics,
+) -> List[int]:
+    """Order all nodes of ``ddg`` given priority ``sets`` and metrics."""
+    order: List[int] = []
+    ordered: Set[int] = set()
+
+    for node_set in sets:
+        pending = set(node_set) - ordered
+        if not pending:
+            continue
+        # Seed: nodes of this set adjacent to the already-ordered prefix.
+        ready_after_preds = {
+            n for n in pending
+            if any(p in ordered for p in ddg.predecessors(n))
+        }
+        ready_before_succs = {
+            n for n in pending
+            if any(s in ordered for s in ddg.successors(n))
+        }
+        if ready_after_preds:
+            frontier, direction = ready_after_preds, TOP_DOWN
+        elif ready_before_succs:
+            frontier, direction = ready_before_succs, BOTTOM_UP
+        else:
+            seed = _pick(pending, metrics.height, metrics)
+            frontier, direction = {seed}, TOP_DOWN
+
+        while pending:
+            while frontier:
+                if direction == TOP_DOWN:
+                    node = _pick(frontier, metrics.height, metrics)
+                else:
+                    node = _pick(frontier, metrics.asap, metrics)
+                order.append(node)
+                ordered.add(node)
+                pending.discard(node)
+                frontier.discard(node)
+                if direction == TOP_DOWN:
+                    grown = ddg.successors(node)
+                else:
+                    grown = ddg.predecessors(node)
+                frontier.update(n for n in grown if n in pending)
+            # Swing: reverse direction, restart from the other frontier.
+            if direction == TOP_DOWN:
+                direction = BOTTOM_UP
+                frontier = {
+                    n for n in pending
+                    if any(s in ordered for s in ddg.successors(n))
+                }
+            else:
+                direction = TOP_DOWN
+                frontier = {
+                    n for n in pending
+                    if any(p in ordered for p in ddg.predecessors(n))
+                }
+            if not frontier and pending:
+                # Disconnected remainder of the set: reseed.
+                seed = _pick(pending, metrics.height, metrics)
+                frontier, direction = {seed}, TOP_DOWN
+    return order
+
+
+def assignment_order(ddg: Ddg, ii: int) -> List[int]:
+    """The paper's full assignment order for one loop at candidate II.
+
+    SCC sets by decreasing RecMII first, remaining nodes last, SMS order
+    within each set (Section 4.1).
+    """
+    partition = find_sccs(ddg)
+    metrics = compute_metrics(ddg, max(ii, 1))
+    return swing_order(ddg, ordering_sets(ddg, partition), metrics)

@@ -1,0 +1,92 @@
+"""Independent modulo-schedule validity checking.
+
+The checker re-derives every constraint from scratch (it shares no state
+with the scheduler): dependence inequalities under the modulo timing
+model, per-row resource capacities, and cross-cluster dataflow legality of
+the annotated graph.  Tests and the experiment harness run it on every
+schedule produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..machine.machine import ResourceKey
+from .schedule import Schedule
+
+
+@dataclass
+class Violation:
+    """One broken constraint, with a human-readable description."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+def check_schedule(schedule: Schedule) -> List[Violation]:
+    """Return every constraint violation of ``schedule`` (empty = valid)."""
+    violations: List[Violation] = []
+    annotated = schedule.annotated
+    ddg = annotated.ddg
+    ii = schedule.ii
+
+    # 1. Dependences: start(dst) >= start(src) + latency(src) - II*distance.
+    for edge in ddg.edges:
+        lower = (
+            schedule.start[edge.src]
+            + ddg.latency(edge.src)
+            - ii * edge.distance
+        )
+        if schedule.start[edge.dst] < lower:
+            violations.append(
+                Violation(
+                    kind="dependence",
+                    detail=(
+                        f"{ddg.node(edge.src)} -> {ddg.node(edge.dst)} "
+                        f"(distance {edge.distance}): start "
+                        f"{schedule.start[edge.dst]} < required {lower}"
+                    ),
+                )
+            )
+
+    # 2. Resources: per (key, row) usage within per-cycle capacity.
+    capacities = annotated.machine.resource_capacities()
+    usage: Dict[Tuple[ResourceKey, int], int] = {}
+    for node_id in ddg.node_ids:
+        row = schedule.row(node_id)
+        for key in annotated.resources_of(node_id):
+            usage[(key, row)] = usage.get((key, row), 0) + 1
+    for (key, row), count in sorted(usage.items(), key=str):
+        capacity = capacities.get(key, 0)
+        if count > capacity:
+            violations.append(
+                Violation(
+                    kind="resource",
+                    detail=(
+                        f"resource {key!r} oversubscribed in kernel row "
+                        f"{row}: {count} > {capacity}"
+                    ),
+                )
+            )
+
+    # 3. Structural legality of the clustered dataflow.
+    try:
+        annotated.validate()
+    except ValueError as exc:
+        violations.append(Violation(kind="structure", detail=str(exc)))
+
+    return violations
+
+
+def assert_valid(schedule: Schedule) -> None:
+    """Raise :class:`AssertionError` listing violations, if any."""
+    violations = check_schedule(schedule)
+    if violations:
+        summary = "\n".join(str(v) for v in violations)
+        raise AssertionError(
+            f"invalid schedule (II={schedule.ii}):\n{summary}"
+        )

@@ -1,0 +1,21 @@
+"""Execution-based validation: reference interpreter + machine simulator."""
+
+from .machine import (
+    SimReport,
+    SimViolation,
+    assert_executes_correctly,
+    simulate_schedule,
+)
+from .reference import reference_execute, value_inputs
+from .values import combine, live_in
+
+__all__ = [
+    "SimReport",
+    "SimViolation",
+    "assert_executes_correctly",
+    "combine",
+    "live_in",
+    "reference_execute",
+    "simulate_schedule",
+    "value_inputs",
+]

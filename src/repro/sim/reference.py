@@ -1,0 +1,80 @@
+"""Sequential reference execution of a loop DDG.
+
+Executes ``n_iterations`` of the loop the way a scalar processor would:
+iteration by iteration, operations in dataflow order within an
+iteration, loop-carried operands taken from ``distance`` iterations ago
+(live-in digests for iterations before the first).  The result — a
+digest per (node, iteration) — is the ground truth the machine simulator
+is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ddg.graph import Ddg
+from ..ddg.opcodes import Opcode
+from .values import combine, live_in, source_value
+
+OPCODE_INDEX = {opcode: index for index, opcode in enumerate(Opcode)}
+
+
+def _intra_iteration_topo_order(ddg: Ddg) -> List[int]:
+    """Topological order w.r.t. distance-0 edges (acyclic for any
+    schedulable loop; a zero-distance cycle is malformed input)."""
+    indegree = {node_id: 0 for node_id in ddg.node_ids}
+    for edge in ddg.edges:
+        if edge.distance == 0:
+            indegree[edge.dst] += 1
+    ready = [n for n, d in indegree.items() if d == 0]
+    order: List[int] = []
+    while ready:
+        node_id = ready.pop()
+        order.append(node_id)
+        for edge in ddg.out_edges(node_id):
+            if edge.distance == 0:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+    if len(order) != len(ddg):
+        raise ValueError("zero-distance dependence cycle in loop body")
+    return order
+
+
+def value_inputs(ddg: Ddg, node_id: int) -> List[Tuple[int, int]]:
+    """The data operands of a node: ``(producer, distance)`` per value
+    in-edge, in edge insertion order (ordering edges carry no data)."""
+    inputs = []
+    for edge in ddg.in_edges(node_id):
+        if ddg.node(edge.src).produces_value:
+            inputs.append((edge.src, edge.distance))
+    return inputs
+
+
+def reference_execute(
+    ddg: Ddg, n_iterations: int
+) -> Dict[Tuple[int, int], int]:
+    """Digest of every (node, iteration) under sequential execution."""
+    if n_iterations < 1:
+        raise ValueError("need at least one iteration")
+    order = _intra_iteration_topo_order(ddg)
+    inputs_of = {n: value_inputs(ddg, n) for n in ddg.node_ids}
+    values: Dict[Tuple[int, int], int] = {}
+    for iteration in range(n_iterations):
+        for node_id in order:
+            operand_digests = []
+            for producer, distance in inputs_of[node_id]:
+                src_iter = iteration - distance
+                if src_iter < 0:
+                    operand_digests.append(live_in(producer, src_iter))
+                else:
+                    operand_digests.append(values[(producer, src_iter)])
+            opcode_index = OPCODE_INDEX[ddg.node(node_id).opcode]
+            if operand_digests:
+                digest = combine(
+                    node_id, opcode_index, tuple(operand_digests)
+                )
+            else:
+                digest = source_value(node_id, opcode_index, iteration)
+            values[(node_id, iteration)] = digest
+    return values

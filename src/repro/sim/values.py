@@ -1,0 +1,57 @@
+"""Symbolic value algebra for execution-based schedule validation.
+
+Every operation's result is a deterministic function of its opcode, node
+identity and input values, so two executions computing "the same thing"
+produce bit-identical values and any dataflow mix-up (wrong iteration,
+wrong producer, value read from a register file it never reached)
+surfaces as a mismatch.
+
+Values are compact 64-bit digests: ``combine`` folds the inputs with the
+producing node and the opcode; live-in values (operands whose producing
+iteration precedes the first simulated one) are derived from
+``(producer node, iteration)`` so the reference and the machine
+simulator agree on them by construction.  Copies are transparent — they
+transport their input digest unchanged, exactly like hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+_MASK = (1 << 64) - 1
+_PRIME = 1099511628211  # FNV-64 prime
+
+
+def _fnv(parts: Iterable[int]) -> int:
+    digest = 14695981039346656037
+    for part in parts:
+        digest ^= part & _MASK
+        digest = (digest * _PRIME) & _MASK
+    return digest
+
+
+def live_in(node_id: int, iteration: int) -> int:
+    """Digest of a value produced before the first simulated iteration.
+
+    ``iteration`` is negative (or identifies the pre-loop definition).
+    """
+    return _fnv((0xBEEF, node_id, iteration & _MASK))
+
+
+def combine(node_id: int, opcode_index: int, inputs: Tuple[int, ...]) -> int:
+    """Digest of an operation's result given its input digests.
+
+    Inputs are order-sensitive: a DDG consumer sees its in-edges in
+    insertion order, which both executions traverse identically.
+    """
+    return _fnv((0xFACE, node_id, opcode_index, len(inputs), *inputs))
+
+
+def source_value(node_id: int, opcode_index: int, iteration: int) -> int:
+    """Digest of an operand-less operation (e.g. a streaming load).
+
+    Source operations model ``a[i]``-style streams: their value differs
+    every iteration, so downstream digests are iteration-specific even
+    in recurrence-free loops.
+    """
+    return _fnv((0xD00D, node_id, opcode_index, iteration & _MASK))

@@ -1,0 +1,28 @@
+"""Loop workloads: synthetic suite, hand-written kernels, statistics."""
+
+from .corpus import dumps_corpus, load_corpus, loads_corpus, save_corpus
+from .kernels import all_kernels, build_kernel, kernel_names
+from .stats import StatRow, SuiteStatistics, suite_statistics
+from .suite import DEFAULT_SEED, PAPER_SUITE_SIZE, paper_suite
+from .synthetic import GeneratorProfile, generate_loop, generate_suite
+from .unroll import unroll_ddg
+
+__all__ = [
+    "DEFAULT_SEED",
+    "GeneratorProfile",
+    "PAPER_SUITE_SIZE",
+    "StatRow",
+    "SuiteStatistics",
+    "all_kernels",
+    "build_kernel",
+    "dumps_corpus",
+    "generate_loop",
+    "generate_suite",
+    "kernel_names",
+    "load_corpus",
+    "loads_corpus",
+    "paper_suite",
+    "save_corpus",
+    "suite_statistics",
+    "unroll_ddg",
+]

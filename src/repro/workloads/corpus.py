@@ -1,0 +1,82 @@
+"""Saving and loading loop corpora as plain text.
+
+A corpus file stores any number of loops in the
+:mod:`repro.ddg.parse` textual format, separated by headers::
+
+    == lk5_tridiag ==
+    ld_y: load
+    ...
+
+    == synth0001 ==
+    ...
+
+This makes the evaluation suite shareable as data: researchers can
+regenerate exactly the loops behind EXPERIMENTS.md (``save_corpus`` of
+``paper_suite(1327)``), hand-edit cases, or import loops from another
+tool without touching Python.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..ddg.graph import Ddg
+from ..ddg.parse import format_loop, parse_loop
+
+_HEADER = re.compile(r"^==\s*(?P<name>.+?)\s*==\s*$")
+
+
+def dumps_corpus(loops: List[Ddg]) -> str:
+    """Serialize loops to the corpus text format.
+
+    Loop names must be unique and non-empty.
+    """
+    names = [loop.name for loop in loops]
+    if any(not name for name in names):
+        raise ValueError("every loop in a corpus needs a name")
+    if len(set(names)) != len(names):
+        raise ValueError("loop names in a corpus must be unique")
+    chunks = []
+    for loop in loops:
+        chunks.append(f"== {loop.name} ==\n{format_loop(loop)}")
+    return "\n".join(chunks)
+
+
+def loads_corpus(text: str) -> List[Ddg]:
+    """Parse a corpus back into loops (inverse of :func:`dumps_corpus`)."""
+    loops: List[Ddg] = []
+    name: str = ""
+    body: List[str] = []
+    seen = set()
+
+    def flush() -> None:
+        if not name:
+            return
+        if name in seen:
+            raise ValueError(f"duplicate loop name {name!r} in corpus")
+        seen.add(name)
+        loops.append(parse_loop("\n".join(body), name=name))
+
+    for line in text.splitlines():
+        match = _HEADER.match(line)
+        if match:
+            flush()
+            name = match.group("name")
+            body = []
+        else:
+            body.append(line)
+    flush()
+    return loops
+
+
+def save_corpus(loops: List[Ddg], path: str) -> None:
+    """Write a corpus file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_corpus(loops))
+
+
+def load_corpus(path: str) -> List[Ddg]:
+    """Read a corpus file."""
+    with open(path) as handle:
+        return loads_corpus(handle.read())

@@ -1,0 +1,980 @@
+"""Hand-written loop kernels modelled on the Livermore FORTRAN Kernels.
+
+Each function returns the DDG a Cydra-style compiler would see for the
+kernel's innermost loop after load-store elimination, back-substitution
+and IF-conversion: loads for the streamed arrays, the arithmetic dataflow,
+stores for the results, an induction/branch pair, and loop-carried edges
+for true recurrences (first-order linear recurrences appear exactly as in
+the source since back-substitution only removes the false ones).
+
+These kernels serve three purposes: realistic fixtures for tests and
+examples, seeds of the full evaluation suite, and documented ground truth
+for RecMII (each builder's docstring states the critical recurrence).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..ddg.graph import Ddg, build_ddg
+from ..ddg.opcodes import Opcode
+
+KernelBuilder = Callable[[], Ddg]
+
+_REGISTRY: "Dict[str, KernelBuilder]" = {}
+
+
+def _kernel(func: KernelBuilder) -> KernelBuilder:
+    """Register a kernel builder under its function name."""
+    _REGISTRY[func.__name__] = func
+    return func
+
+
+def kernel_names() -> List[str]:
+    """All registered kernel names, in registration order."""
+    return list(_REGISTRY)
+
+
+def build_kernel(name: str) -> Ddg:
+    """Build one kernel DDG by name."""
+    return _REGISTRY[name]()
+
+
+def all_kernels() -> List[Ddg]:
+    """Build every registered kernel."""
+    return [builder() for builder in _REGISTRY.values()]
+
+
+def _loop_overhead() -> Tuple[List, List]:
+    """Induction-variable update + loop branch shared by most kernels.
+
+    The induction ALU forms a trivial distance-1 self-recurrence
+    (i = i + 1), RecMII contribution 1.
+    """
+    ops = [("i_upd", Opcode.ALU), ("br", Opcode.BRANCH)]
+    deps = [("i_upd", "i_upd", 1), ("i_upd", "br", 0)]
+    return ops, deps
+
+
+@_kernel
+def lk1_hydro() -> Ddg:
+    """LFK 1, hydro fragment: ``x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])``.
+
+    Pure streaming — no recurrence beyond the induction variable.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_y", Opcode.LOAD), ("ld_z10", Opcode.LOAD),
+        ("ld_z11", Opcode.LOAD),
+        ("m_rz", Opcode.FP_MULT), ("m_tz", Opcode.FP_MULT),
+        ("a_in", Opcode.FP_ADD), ("m_y", Opcode.FP_MULT),
+        ("a_q", Opcode.FP_ADD), ("st_x", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_z10", "m_rz", 0), ("ld_z11", "m_tz", 0),
+        ("m_rz", "a_in", 0), ("m_tz", "a_in", 0),
+        ("a_in", "m_y", 0), ("ld_y", "m_y", 0),
+        ("m_y", "a_q", 0), ("a_q", "st_x", 0),
+        ("i_upd", "ld_y", 0),
+    ]
+    return build_ddg(ops, deps, name="lk1_hydro")
+
+
+@_kernel
+def lk2_iccg() -> Ddg:
+    """LFK 2, ICCG excerpt: ``x[i] = x[i] - z[i]*x[i+1]`` style update.
+
+    Streaming with two loads and a multiply-subtract chain.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("ld_z", Opcode.LOAD),
+        ("ld_x1", Opcode.LOAD),
+        ("mul", Opcode.FP_MULT), ("sub", Opcode.FP_ADD),
+        ("st_x", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_z", "mul", 0), ("ld_x1", "mul", 0),
+        ("ld_x", "sub", 0), ("mul", "sub", 0),
+        ("sub", "st_x", 0), ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="lk2_iccg")
+
+
+@_kernel
+def lk3_inner_product() -> Ddg:
+    """LFK 3: ``q += z[k]*x[k]``.
+
+    Critical recurrence: the accumulator add (distance 1, latency 1),
+    RecMII 1 — trivially pipelinable, but the accumulator value lives in a
+    register that every iteration updates.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_z", Opcode.LOAD), ("ld_x", Opcode.LOAD),
+        ("mul", Opcode.FP_MULT), ("acc", Opcode.FP_ADD),
+    ]
+    deps += [
+        ("ld_z", "mul", 0), ("ld_x", "mul", 0),
+        ("mul", "acc", 0), ("acc", "acc", 1),
+    ]
+    return build_ddg(ops, deps, name="lk3_inner_product")
+
+
+@_kernel
+def lk5_tridiag() -> Ddg:
+    """LFK 5, tri-diagonal elimination: ``x[i] = z[i]*(y[i] - x[i-1])``.
+
+    Critical recurrence: sub → mult → (next) sub over distance 1, so
+    RecMII = latency(FP_ADD) + latency(FP_MULT) = 1 + 3 = 4.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_y", Opcode.LOAD), ("ld_z", Opcode.LOAD),
+        ("sub", Opcode.FP_ADD), ("mul", Opcode.FP_MULT),
+        ("st_x", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_y", "sub", 0), ("mul", "sub", 1),
+        ("ld_z", "mul", 0), ("sub", "mul", 0),
+        ("mul", "st_x", 0), ("i_upd", "ld_y", 0),
+    ]
+    return build_ddg(ops, deps, name="lk5_tridiag")
+
+
+@_kernel
+def lk6_linear_recurrence() -> Ddg:
+    """LFK 6 inner step: ``w[i] += b[i,k] * w[i-k]`` general recurrence.
+
+    The accumulate chain is loop-carried through an FP add and multiply.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_b", Opcode.LOAD), ("ld_w", Opcode.LOAD),
+        ("mul", Opcode.FP_MULT), ("acc", Opcode.FP_ADD),
+        ("st_w", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_b", "mul", 0), ("ld_w", "mul", 0),
+        ("mul", "acc", 0), ("acc", "acc", 1),
+        ("acc", "st_w", 0), ("i_upd", "ld_b", 0),
+    ]
+    return build_ddg(ops, deps, name="lk6_linear_recurrence")
+
+
+@_kernel
+def lk7_equation_of_state() -> Ddg:
+    """LFK 7 (equation-of-state fragment): wide FP dataflow, no
+    recurrence — the classic ILP stress test."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_u", Opcode.LOAD), ("ld_z", Opcode.LOAD), ("ld_y", Opcode.LOAD),
+        ("m1", Opcode.FP_MULT), ("m2", Opcode.FP_MULT),
+        ("m3", Opcode.FP_MULT), ("m4", Opcode.FP_MULT),
+        ("a1", Opcode.FP_ADD), ("a2", Opcode.FP_ADD),
+        ("a3", Opcode.FP_ADD), ("a4", Opcode.FP_ADD),
+        ("st_x", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_u", "m1", 0), ("ld_z", "m1", 0),
+        ("ld_y", "m2", 0), ("m1", "a1", 0), ("m2", "a1", 0),
+        ("a1", "m3", 0), ("ld_u", "m3", 0),
+        ("m3", "a2", 0), ("ld_y", "a2", 0),
+        ("a2", "m4", 0), ("ld_z", "m4", 0),
+        ("m4", "a3", 0), ("a1", "a3", 0),
+        ("a3", "a4", 0), ("ld_u", "a4", 0),
+        ("a4", "st_x", 0), ("i_upd", "ld_u", 0),
+    ]
+    return build_ddg(ops, deps, name="lk7_equation_of_state")
+
+
+@_kernel
+def lk11_first_sum() -> Ddg:
+    """LFK 11, prefix sum: ``x[k] = x[k-1] + y[k]``.
+
+    Critical recurrence: the FP add at distance 1, RecMII 1.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_y", Opcode.LOAD), ("acc", Opcode.FP_ADD),
+        ("st_x", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_y", "acc", 0), ("acc", "acc", 1),
+        ("acc", "st_x", 0), ("i_upd", "ld_y", 0),
+    ]
+    return build_ddg(ops, deps, name="lk11_first_sum")
+
+
+@_kernel
+def lk12_first_difference() -> Ddg:
+    """LFK 12: ``x[k] = y[k+1] - y[k]`` — streaming, no recurrence."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_y0", Opcode.LOAD), ("ld_y1", Opcode.LOAD),
+        ("sub", Opcode.FP_ADD), ("st_x", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_y0", "sub", 0), ("ld_y1", "sub", 0),
+        ("sub", "st_x", 0), ("i_upd", "ld_y0", 0),
+    ]
+    return build_ddg(ops, deps, name="lk12_first_difference")
+
+
+@_kernel
+def daxpy() -> Ddg:
+    """BLAS daxpy: ``y[i] = y[i] + a*x[i]`` — streaming."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("ld_y", Opcode.LOAD),
+        ("mul", Opcode.FP_MULT), ("add", Opcode.FP_ADD),
+        ("st_y", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_x", "mul", 0), ("ld_y", "add", 0),
+        ("mul", "add", 0), ("add", "st_y", 0),
+        ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="daxpy")
+
+
+@_kernel
+def dot_product_unrolled2() -> Ddg:
+    """Dot product unrolled twice with two accumulators (a common
+    Cydra-era transformation to relax the accumulate recurrence)."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x0", Opcode.LOAD), ("ld_y0", Opcode.LOAD),
+        ("ld_x1", Opcode.LOAD), ("ld_y1", Opcode.LOAD),
+        ("m0", Opcode.FP_MULT), ("m1", Opcode.FP_MULT),
+        ("acc0", Opcode.FP_ADD), ("acc1", Opcode.FP_ADD),
+    ]
+    deps += [
+        ("ld_x0", "m0", 0), ("ld_y0", "m0", 0),
+        ("ld_x1", "m1", 0), ("ld_y1", "m1", 0),
+        ("m0", "acc0", 0), ("m1", "acc1", 0),
+        ("acc0", "acc0", 1), ("acc1", "acc1", 1),
+        ("i_upd", "ld_x0", 0),
+    ]
+    return build_ddg(ops, deps, name="dot_product_unrolled2")
+
+
+@_kernel
+def fir_filter_4tap() -> Ddg:
+    """4-tap FIR filter: ``y[n] = sum(c[k]*x[n-k])`` — four multiplies
+    feeding an add tree, streaming."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x0", Opcode.LOAD), ("ld_x1", Opcode.LOAD),
+        ("ld_x2", Opcode.LOAD), ("ld_x3", Opcode.LOAD),
+        ("m0", Opcode.FP_MULT), ("m1", Opcode.FP_MULT),
+        ("m2", Opcode.FP_MULT), ("m3", Opcode.FP_MULT),
+        ("a01", Opcode.FP_ADD), ("a23", Opcode.FP_ADD),
+        ("sum", Opcode.FP_ADD), ("st_y", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_x0", "m0", 0), ("ld_x1", "m1", 0),
+        ("ld_x2", "m2", 0), ("ld_x3", "m3", 0),
+        ("m0", "a01", 0), ("m1", "a01", 0),
+        ("m2", "a23", 0), ("m3", "a23", 0),
+        ("a01", "sum", 0), ("a23", "sum", 0),
+        ("sum", "st_y", 0), ("i_upd", "ld_x0", 0),
+    ]
+    return build_ddg(ops, deps, name="fir_filter_4tap")
+
+
+@_kernel
+def horner_poly() -> Ddg:
+    """Horner polynomial evaluation: ``p = p*x + c[i]``.
+
+    Critical recurrence: multiply + add at distance 1, RecMII 4.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_c", Opcode.LOAD), ("mul", Opcode.FP_MULT),
+        ("add", Opcode.FP_ADD),
+    ]
+    deps += [
+        ("add", "mul", 1), ("mul", "add", 0),
+        ("ld_c", "add", 0), ("i_upd", "ld_c", 0),
+    ]
+    return build_ddg(ops, deps, name="horner_poly")
+
+
+@_kernel
+def stencil_3pt() -> Ddg:
+    """3-point stencil: ``b[i] = w0*a[i-1] + w1*a[i] + w2*a[i+1]``."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_a0", Opcode.LOAD), ("ld_a1", Opcode.LOAD),
+        ("ld_a2", Opcode.LOAD),
+        ("m0", Opcode.FP_MULT), ("m1", Opcode.FP_MULT),
+        ("m2", Opcode.FP_MULT),
+        ("a01", Opcode.FP_ADD), ("sum", Opcode.FP_ADD),
+        ("st_b", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_a0", "m0", 0), ("ld_a1", "m1", 0), ("ld_a2", "m2", 0),
+        ("m0", "a01", 0), ("m1", "a01", 0),
+        ("a01", "sum", 0), ("m2", "sum", 0),
+        ("sum", "st_b", 0), ("i_upd", "ld_a0", 0),
+    ]
+    return build_ddg(ops, deps, name="stencil_3pt")
+
+
+@_kernel
+def matmul_inner() -> Ddg:
+    """Matrix-multiply inner loop: ``c += a[i,k]*b[k,j]`` with address
+    arithmetic for the strided ``b`` access."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("addr_b", Opcode.ALU), ("ld_a", Opcode.LOAD),
+        ("ld_b", Opcode.LOAD), ("mul", Opcode.FP_MULT),
+        ("acc", Opcode.FP_ADD),
+    ]
+    deps += [
+        ("addr_b", "addr_b", 1), ("addr_b", "ld_b", 0),
+        ("ld_a", "mul", 0), ("ld_b", "mul", 0),
+        ("mul", "acc", 0), ("acc", "acc", 1),
+        ("i_upd", "ld_a", 0),
+    ]
+    return build_ddg(ops, deps, name="matmul_inner")
+
+
+@_kernel
+def complex_multiply() -> Ddg:
+    """Streaming complex multiply: 4 multiplies, 2 adds, 2 stores."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_ar", Opcode.LOAD), ("ld_ai", Opcode.LOAD),
+        ("ld_br", Opcode.LOAD), ("ld_bi", Opcode.LOAD),
+        ("m_rr", Opcode.FP_MULT), ("m_ii", Opcode.FP_MULT),
+        ("m_ri", Opcode.FP_MULT), ("m_ir", Opcode.FP_MULT),
+        ("sub_r", Opcode.FP_ADD), ("add_i", Opcode.FP_ADD),
+        ("st_r", Opcode.STORE), ("st_i", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_ar", "m_rr", 0), ("ld_br", "m_rr", 0),
+        ("ld_ai", "m_ii", 0), ("ld_bi", "m_ii", 0),
+        ("ld_ar", "m_ri", 0), ("ld_bi", "m_ri", 0),
+        ("ld_ai", "m_ir", 0), ("ld_br", "m_ir", 0),
+        ("m_rr", "sub_r", 0), ("m_ii", "sub_r", 0),
+        ("m_ri", "add_i", 0), ("m_ir", "add_i", 0),
+        ("sub_r", "st_r", 0), ("add_i", "st_i", 0),
+        ("i_upd", "ld_ar", 0),
+    ]
+    return build_ddg(ops, deps, name="complex_multiply")
+
+
+@_kernel
+def newton_division_step() -> Ddg:
+    """Newton–Raphson reciprocal refinement with a long-latency divide in
+    a loop-carried chain: RecMII dominated by FP_DIV latency 9."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_d", Opcode.LOAD), ("div", Opcode.FP_DIV),
+        ("mul", Opcode.FP_MULT), ("sub", Opcode.FP_ADD),
+        ("st_r", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_d", "div", 0), ("sub", "div", 1),
+        ("div", "mul", 0), ("mul", "sub", 0),
+        ("sub", "st_r", 0), ("i_upd", "ld_d", 0),
+    ]
+    return build_ddg(ops, deps, name="newton_division_step")
+
+
+@_kernel
+def vector_norm() -> Ddg:
+    """Vector 2-norm accumulation with an FP square root on the stream."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("sq", Opcode.FP_MULT),
+        ("acc", Opcode.FP_ADD), ("sqrt", Opcode.FP_SQRT),
+        ("st_n", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_x", "sq", 0), ("sq", "acc", 0), ("acc", "acc", 1),
+        ("acc", "sqrt", 0), ("sqrt", "st_n", 0),
+        ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="vector_norm")
+
+
+@_kernel
+def ema_filter() -> Ddg:
+    """Exponential moving average: ``s = alpha*x[i] + (1-alpha)*s``.
+
+    Critical recurrence: multiply + add at distance 1, RecMII 4.
+    """
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("m_x", Opcode.FP_MULT),
+        ("m_s", Opcode.FP_MULT), ("add", Opcode.FP_ADD),
+        ("st_s", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_x", "m_x", 0), ("add", "m_s", 1),
+        ("m_x", "add", 0), ("m_s", "add", 0),
+        ("add", "st_s", 0), ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="ema_filter")
+
+
+@_kernel
+def saxpy_strided() -> Ddg:
+    """Strided saxpy with explicit address arithmetic on both streams."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("addr_x", Opcode.ALU), ("addr_y", Opcode.ALU),
+        ("ld_x", Opcode.LOAD), ("ld_y", Opcode.LOAD),
+        ("mul", Opcode.FP_MULT), ("add", Opcode.FP_ADD),
+        ("st_y", Opcode.STORE),
+    ]
+    deps += [
+        ("addr_x", "addr_x", 1), ("addr_y", "addr_y", 1),
+        ("addr_x", "ld_x", 0), ("addr_y", "ld_y", 0),
+        ("ld_x", "mul", 0), ("mul", "add", 0), ("ld_y", "add", 0),
+        ("add", "st_y", 0), ("addr_y", "st_y", 0),
+    ]
+    return build_ddg(ops, deps, name="saxpy_strided")
+
+
+@_kernel
+def butterfly_fft() -> Ddg:
+    """One radix-2 FFT butterfly per iteration: twiddle multiply plus
+    add/sub pairs on complex data — copy-pressure heavy when split."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_ar", Opcode.LOAD), ("ld_ai", Opcode.LOAD),
+        ("ld_br", Opcode.LOAD), ("ld_bi", Opcode.LOAD),
+        ("m_rr", Opcode.FP_MULT), ("m_ii", Opcode.FP_MULT),
+        ("m_ri", Opcode.FP_MULT), ("m_ir", Opcode.FP_MULT),
+        ("t_r", Opcode.FP_ADD), ("t_i", Opcode.FP_ADD),
+        ("o0r", Opcode.FP_ADD), ("o0i", Opcode.FP_ADD),
+        ("o1r", Opcode.FP_ADD), ("o1i", Opcode.FP_ADD),
+        ("st0r", Opcode.STORE), ("st0i", Opcode.STORE),
+        ("st1r", Opcode.STORE), ("st1i", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_br", "m_rr", 0), ("ld_bi", "m_ii", 0),
+        ("ld_br", "m_ri", 0), ("ld_bi", "m_ir", 0),
+        ("m_rr", "t_r", 0), ("m_ii", "t_r", 0),
+        ("m_ri", "t_i", 0), ("m_ir", "t_i", 0),
+        ("ld_ar", "o0r", 0), ("t_r", "o0r", 0),
+        ("ld_ai", "o0i", 0), ("t_i", "o0i", 0),
+        ("ld_ar", "o1r", 0), ("t_r", "o1r", 0),
+        ("ld_ai", "o1i", 0), ("t_i", "o1i", 0),
+        ("o0r", "st0r", 0), ("o0i", "st0i", 0),
+        ("o1r", "st1r", 0), ("o1i", "st1i", 0),
+        ("i_upd", "ld_ar", 0),
+    ]
+    return build_ddg(ops, deps, name="butterfly_fft")
+
+
+@_kernel
+def wavefront_sweep() -> Ddg:
+    """A wavefront update ``a[i] = f(a[i-1], a[i-2])`` with two carried
+    dependences of different distances in one SCC."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_c", Opcode.LOAD), ("m1", Opcode.FP_MULT),
+        ("m2", Opcode.FP_MULT), ("add", Opcode.FP_ADD),
+        ("st_a", Opcode.STORE),
+    ]
+    deps += [
+        ("add", "m1", 1), ("add", "m2", 2),
+        ("m1", "add", 0), ("m2", "add", 0),
+        ("ld_c", "add", 0), ("add", "st_a", 0),
+        ("i_upd", "ld_c", 0),
+    ]
+    return build_ddg(ops, deps, name="wavefront_sweep")
+
+
+@_kernel
+def integer_checksum() -> Ddg:
+    """Integer-only rolling checksum: shifts and ALU ops with a carried
+    accumulator — exercises integer unit pressure on FS machines."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_b", Opcode.LOAD), ("sh1", Opcode.SHIFT),
+        ("xor1", Opcode.ALU), ("sh2", Opcode.SHIFT),
+        ("add", Opcode.ALU),
+    ]
+    deps += [
+        ("ld_b", "sh1", 0), ("sh1", "xor1", 0),
+        ("add", "xor1", 1), ("xor1", "sh2", 0),
+        ("sh2", "add", 0), ("i_upd", "ld_b", 0),
+    ]
+    return build_ddg(ops, deps, name="integer_checksum")
+
+
+@_kernel
+def table_lookup_interp() -> Ddg:
+    """Table lookup with linear interpolation: integer index arithmetic
+    feeding dependent loads, then FP blend — mixed-class pressure."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_u", Opcode.LOAD), ("idx", Opcode.ALU),
+        ("sh", Opcode.SHIFT), ("ld_t0", Opcode.LOAD),
+        ("ld_t1", Opcode.LOAD), ("sub", Opcode.FP_ADD),
+        ("mul", Opcode.FP_MULT), ("add", Opcode.FP_ADD),
+        ("st_v", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_u", "idx", 0), ("idx", "sh", 0),
+        ("sh", "ld_t0", 0), ("sh", "ld_t1", 0),
+        ("ld_t1", "sub", 0), ("ld_t0", "sub", 0),
+        ("sub", "mul", 0), ("ld_u", "mul", 0),
+        ("mul", "add", 0), ("ld_t0", "add", 0),
+        ("add", "st_v", 0), ("i_upd", "ld_u", 0),
+    ]
+    return build_ddg(ops, deps, name="table_lookup_interp")
+
+
+@_kernel
+def bilinear_blend() -> Ddg:
+    """Bilinear pixel blend: four loads, three lerps — wide and flat."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_p00", Opcode.LOAD), ("ld_p01", Opcode.LOAD),
+        ("ld_p10", Opcode.LOAD), ("ld_p11", Opcode.LOAD),
+        ("l0_sub", Opcode.FP_ADD), ("l0_mul", Opcode.FP_MULT),
+        ("l0_add", Opcode.FP_ADD),
+        ("l1_sub", Opcode.FP_ADD), ("l1_mul", Opcode.FP_MULT),
+        ("l1_add", Opcode.FP_ADD),
+        ("l2_sub", Opcode.FP_ADD), ("l2_mul", Opcode.FP_MULT),
+        ("l2_add", Opcode.FP_ADD),
+        ("st_q", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_p00", "l0_sub", 0), ("ld_p01", "l0_sub", 0),
+        ("l0_sub", "l0_mul", 0), ("l0_mul", "l0_add", 0),
+        ("ld_p00", "l0_add", 0),
+        ("ld_p10", "l1_sub", 0), ("ld_p11", "l1_sub", 0),
+        ("l1_sub", "l1_mul", 0), ("l1_mul", "l1_add", 0),
+        ("ld_p10", "l1_add", 0),
+        ("l0_add", "l2_sub", 0), ("l1_add", "l2_sub", 0),
+        ("l2_sub", "l2_mul", 0), ("l2_mul", "l2_add", 0),
+        ("l0_add", "l2_add", 0),
+        ("l2_add", "st_q", 0), ("i_upd", "ld_p00", 0),
+    ]
+    return build_ddg(ops, deps, name="bilinear_blend")
+
+
+@_kernel
+def givens_rotation() -> Ddg:
+    """Givens rotation applied to two streamed vectors: two combined
+    outputs share all four inputs — high communication if split."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("ld_y", Opcode.LOAD),
+        ("m_cx", Opcode.FP_MULT), ("m_sy", Opcode.FP_MULT),
+        ("m_sx", Opcode.FP_MULT), ("m_cy", Opcode.FP_MULT),
+        ("add_x", Opcode.FP_ADD), ("add_y", Opcode.FP_ADD),
+        ("st_x", Opcode.STORE), ("st_y", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_x", "m_cx", 0), ("ld_y", "m_sy", 0),
+        ("ld_x", "m_sx", 0), ("ld_y", "m_cy", 0),
+        ("m_cx", "add_x", 0), ("m_sy", "add_x", 0),
+        ("m_sx", "add_y", 0), ("m_cy", "add_y", 0),
+        ("add_x", "st_x", 0), ("add_y", "st_y", 0),
+        ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="givens_rotation")
+
+
+@_kernel
+def mandelbrot_step() -> Ddg:
+    """One Mandelbrot iteration: ``z = z^2 + c`` on complex values — the
+    body is one SCC of FP operations; critical cycle add → mult → sub →
+    add over distance 1 gives RecMII 1 + 3 + 1 = 5."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("m_rr", Opcode.FP_MULT), ("m_ii", Opcode.FP_MULT),
+        ("m_ri", Opcode.FP_MULT),
+        ("sub_r", Opcode.FP_ADD), ("dbl_i", Opcode.FP_ADD),
+        ("add_cr", Opcode.FP_ADD), ("add_ci", Opcode.FP_ADD),
+    ]
+    deps += [
+        ("add_cr", "m_rr", 1), ("add_ci", "m_ii", 1),
+        ("add_cr", "m_ri", 1), ("add_ci", "m_ri", 1),
+        ("m_rr", "sub_r", 0), ("m_ii", "sub_r", 0),
+        ("m_ri", "dbl_i", 0),
+        ("sub_r", "add_cr", 0), ("dbl_i", "add_ci", 0),
+    ]
+    return build_ddg(ops, deps, name="mandelbrot_step")
+
+
+@_kernel
+def pointer_chase_reduce() -> Ddg:
+    """Linked-list style reduction: the next address comes from memory,
+    putting a 2-cycle load on the critical recurrence (RecMII 3)."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_next", Opcode.LOAD), ("ld_val", Opcode.LOAD),
+        ("addr", Opcode.ALU), ("acc", Opcode.FP_ADD),
+    ]
+    deps += [
+        ("ld_next", "addr", 0), ("addr", "ld_next", 1),
+        ("addr", "ld_val", 0), ("ld_val", "acc", 0),
+        ("acc", "acc", 1),
+    ]
+    return build_ddg(ops, deps, name="pointer_chase_reduce")
+
+
+@_kernel
+def lk4_banded_linear() -> Ddg:
+    """LFK 4, banded linear equations inner step: multiply-subtract
+    against a banded matrix — streaming with address arithmetic."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("addr", Opcode.ALU), ("ld_xz", Opcode.LOAD),
+        ("ld_y", Opcode.LOAD), ("mul", Opcode.FP_MULT),
+        ("sub", Opcode.FP_ADD), ("st", Opcode.STORE),
+    ]
+    deps += [
+        ("addr", "addr", 1), ("addr", "ld_xz", 0),
+        ("ld_xz", "mul", 0), ("ld_y", "mul", 0),
+        ("mul", "sub", 0), ("sub", "st", 0),
+        ("i_upd", "ld_y", 0),
+    ]
+    return build_ddg(ops, deps, name="lk4_banded_linear")
+
+
+@_kernel
+def lk8_adi_integration() -> Ddg:
+    """LFK 8, ADI integration fragment: long FP expression over six
+    streamed inputs — high ILP, heavy load pressure."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_u1", Opcode.LOAD), ("ld_u2", Opcode.LOAD),
+        ("ld_u3", Opcode.LOAD), ("ld_du1", Opcode.LOAD),
+        ("ld_du2", Opcode.LOAD), ("ld_du3", Opcode.LOAD),
+        ("m1", Opcode.FP_MULT), ("m2", Opcode.FP_MULT),
+        ("m3", Opcode.FP_MULT),
+        ("a1", Opcode.FP_ADD), ("a2", Opcode.FP_ADD),
+        ("a3", Opcode.FP_ADD),
+        ("st1", Opcode.STORE), ("st2", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_u1", "m1", 0), ("ld_du1", "m1", 0),
+        ("ld_u2", "m2", 0), ("ld_du2", "m2", 0),
+        ("ld_u3", "m3", 0), ("ld_du3", "m3", 0),
+        ("m1", "a1", 0), ("m2", "a1", 0),
+        ("a1", "a2", 0), ("m3", "a2", 0),
+        ("a2", "a3", 0), ("ld_u1", "a3", 0),
+        ("a2", "st1", 0), ("a3", "st2", 0),
+        ("i_upd", "ld_u1", 0),
+    ]
+    return build_ddg(ops, deps, name="lk8_adi_integration")
+
+
+@_kernel
+def lk9_numerical_integration() -> Ddg:
+    """LFK 9, integrate predictors: a long weighted sum of ten streamed
+    terms — a pure add/multiply tree."""
+    ops, deps = _loop_overhead()
+    terms = []
+    for k in range(5):
+        ops += [(f"ld{k}", Opcode.LOAD), (f"m{k}", Opcode.FP_MULT)]
+        deps += [(f"ld{k}", f"m{k}", 0)]
+        terms.append(f"m{k}")
+    ops += [
+        ("a0", Opcode.FP_ADD), ("a1", Opcode.FP_ADD),
+        ("a2", Opcode.FP_ADD), ("a3", Opcode.FP_ADD),
+        ("st", Opcode.STORE),
+    ]
+    deps += [
+        ("m0", "a0", 0), ("m1", "a0", 0),
+        ("m2", "a1", 0), ("m3", "a1", 0),
+        ("a0", "a2", 0), ("a1", "a2", 0),
+        ("a2", "a3", 0), ("m4", "a3", 0),
+        ("a3", "st", 0), ("i_upd", "ld0", 0),
+    ]
+    return build_ddg(ops, deps, name="lk9_numerical_integration")
+
+
+@_kernel
+def lk10_difference_predictors() -> Ddg:
+    """LFK 10, difference predictors: a cascade of running differences,
+    each feeding the next and a store — long intra-iteration chain."""
+    ops, deps = _loop_overhead()
+    ops += [("ld_cx", Opcode.LOAD)]
+    prev = "ld_cx"
+    for k in range(4):
+        ops += [(f"ld_py{k}", Opcode.LOAD), (f"d{k}", Opcode.FP_ADD),
+                (f"st{k}", Opcode.STORE)]
+        deps += [(prev, f"d{k}", 0), (f"ld_py{k}", f"d{k}", 0),
+                 (f"d{k}", f"st{k}", 0)]
+        prev = f"d{k}"
+    deps += [("i_upd", "ld_cx", 0)]
+    return build_ddg(ops, deps, name="lk10_difference_predictors")
+
+
+@_kernel
+def lk13_particle_in_cell() -> Ddg:
+    """LFK 13 fragment: particle push — indexed loads through computed
+    grid positions, FP update, indexed store."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_vx", Opcode.LOAD), ("ld_x", Opcode.LOAD),
+        ("idx", Opcode.ALU), ("sh", Opcode.SHIFT),
+        ("ld_e", Opcode.LOAD), ("add_v", Opcode.FP_ADD),
+        ("add_x", Opcode.FP_ADD),
+        ("st_vx", Opcode.STORE), ("st_x", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_x", "idx", 0), ("idx", "sh", 0), ("sh", "ld_e", 0),
+        ("ld_vx", "add_v", 0), ("ld_e", "add_v", 0),
+        ("ld_x", "add_x", 0), ("add_v", "add_x", 0),
+        ("add_v", "st_vx", 0), ("add_x", "st_x", 0),
+        ("i_upd", "ld_vx", 0),
+    ]
+    return build_ddg(ops, deps, name="lk13_particle_in_cell")
+
+
+@_kernel
+def lk18_hydro_2d() -> Ddg:
+    """LFK 18, 2-D explicit hydro fragment: five-point neighborhood with
+    two outputs per point."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_c", Opcode.LOAD), ("ld_n", Opcode.LOAD),
+        ("ld_s", Opcode.LOAD), ("ld_e", Opcode.LOAD),
+        ("ld_w", Opcode.LOAD),
+        ("m_ns", Opcode.FP_MULT), ("m_ew", Opcode.FP_MULT),
+        ("a_ns", Opcode.FP_ADD), ("a_ew", Opcode.FP_ADD),
+        ("a_z", Opcode.FP_ADD), ("m_z", Opcode.FP_MULT),
+        ("st_za", Opcode.STORE), ("st_zb", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_n", "a_ns", 0), ("ld_s", "a_ns", 0),
+        ("ld_e", "a_ew", 0), ("ld_w", "a_ew", 0),
+        ("a_ns", "m_ns", 0), ("a_ew", "m_ew", 0),
+        ("m_ns", "a_z", 0), ("m_ew", "a_z", 0),
+        ("a_z", "m_z", 0), ("ld_c", "m_z", 0),
+        ("a_z", "st_za", 0), ("m_z", "st_zb", 0),
+        ("i_upd", "ld_c", 0),
+    ]
+    return build_ddg(ops, deps, name="lk18_hydro_2d")
+
+
+@_kernel
+def lk21_matrix_product_fragment() -> Ddg:
+    """LFK 21 fragment: ``px[i,j] += vy[i,k] * cx[k,j]`` with both
+    strided addresses carried across iterations."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("adr_v", Opcode.ALU), ("adr_c", Opcode.ALU),
+        ("ld_v", Opcode.LOAD), ("ld_c", Opcode.LOAD),
+        ("ld_p", Opcode.LOAD), ("mul", Opcode.FP_MULT),
+        ("add", Opcode.FP_ADD), ("st_p", Opcode.STORE),
+    ]
+    deps += [
+        ("adr_v", "adr_v", 1), ("adr_c", "adr_c", 1),
+        ("adr_v", "ld_v", 0), ("adr_c", "ld_c", 0),
+        ("ld_v", "mul", 0), ("ld_c", "mul", 0),
+        ("ld_p", "add", 0), ("mul", "add", 0),
+        ("add", "st_p", 0), ("i_upd", "ld_p", 0),
+    ]
+    return build_ddg(ops, deps, name="lk21_matrix_product_fragment")
+
+
+@_kernel
+def lk22_planckian() -> Ddg:
+    """LFK 22, Planckian distribution: a divide on the streaming path
+    (``w = x / (exp(y) - 1)`` with exp pre-tabulated)."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("ld_expy", Opcode.LOAD),
+        ("sub1", Opcode.FP_ADD), ("div", Opcode.FP_DIV),
+        ("st_w", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_expy", "sub1", 0), ("ld_x", "div", 0),
+        ("sub1", "div", 0), ("div", "st_w", 0),
+        ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="lk22_planckian")
+
+
+@_kernel
+def vector_triad_div() -> Ddg:
+    """STREAM-style triad with a divide: ``a[i] = b[i] + c[i] / d[i]``."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_b", Opcode.LOAD), ("ld_c", Opcode.LOAD),
+        ("ld_d", Opcode.LOAD), ("div", Opcode.FP_DIV),
+        ("add", Opcode.FP_ADD), ("st_a", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_c", "div", 0), ("ld_d", "div", 0),
+        ("ld_b", "add", 0), ("div", "add", 0),
+        ("add", "st_a", 0), ("i_upd", "ld_b", 0),
+    ]
+    return build_ddg(ops, deps, name="vector_triad_div")
+
+
+@_kernel
+def convolution_8tap() -> Ddg:
+    """8-tap convolution: eight multiplies into a binary add tree —
+    the widest streaming kernel in the library."""
+    ops, deps = _loop_overhead()
+    for k in range(8):
+        ops += [(f"ld{k}", Opcode.LOAD), (f"m{k}", Opcode.FP_MULT)]
+        deps += [(f"ld{k}", f"m{k}", 0)]
+    ops += [(f"a{k}", Opcode.FP_ADD) for k in range(7)]
+    deps += [
+        ("m0", "a0", 0), ("m1", "a0", 0),
+        ("m2", "a1", 0), ("m3", "a1", 0),
+        ("m4", "a2", 0), ("m5", "a2", 0),
+        ("m6", "a3", 0), ("m7", "a3", 0),
+        ("a0", "a4", 0), ("a1", "a4", 0),
+        ("a2", "a5", 0), ("a3", "a5", 0),
+        ("a4", "a6", 0), ("a5", "a6", 0),
+    ]
+    ops += [("st", Opcode.STORE)]
+    deps += [("a6", "st", 0), ("i_upd", "ld0", 0)]
+    return build_ddg(ops, deps, name="convolution_8tap")
+
+
+@_kernel
+def cholesky_update() -> Ddg:
+    """Cholesky column update: divide + multiply-subtract with the
+    divisor carried across iterations (div + add in one SCC)."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_a", Opcode.LOAD), ("div", Opcode.FP_DIV),
+        ("mul", Opcode.FP_MULT), ("sub", Opcode.FP_ADD),
+        ("st", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_a", "div", 0), ("sub", "div", 1),
+        ("div", "mul", 0), ("mul", "sub", 0),
+        ("sub", "st", 0), ("i_upd", "ld_a", 0),
+    ]
+    return build_ddg(ops, deps, name="cholesky_update")
+
+
+@_kernel
+def rgb_to_yuv() -> Ddg:
+    """Pixel color conversion: three weighted sums of three loads — a
+    classic media kernel with shared inputs across outputs."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_r", Opcode.LOAD), ("ld_g", Opcode.LOAD),
+        ("ld_b", Opcode.LOAD),
+    ]
+    for out in ("y", "u", "v"):
+        ops += [
+            (f"m{out}r", Opcode.FP_MULT), (f"m{out}g", Opcode.FP_MULT),
+            (f"m{out}b", Opcode.FP_MULT),
+            (f"a{out}1", Opcode.FP_ADD), (f"a{out}2", Opcode.FP_ADD),
+            (f"st_{out}", Opcode.STORE),
+        ]
+        deps += [
+            ("ld_r", f"m{out}r", 0), ("ld_g", f"m{out}g", 0),
+            ("ld_b", f"m{out}b", 0),
+            (f"m{out}r", f"a{out}1", 0), (f"m{out}g", f"a{out}1", 0),
+            (f"a{out}1", f"a{out}2", 0), (f"m{out}b", f"a{out}2", 0),
+            (f"a{out}2", f"st_{out}", 0),
+        ]
+    deps += [("i_upd", "ld_r", 0)]
+    return build_ddg(ops, deps, name="rgb_to_yuv")
+
+
+@_kernel
+def fixed_point_quantize() -> Ddg:
+    """Integer quantization: shift/round/clamp pipeline — pure integer
+    pressure for FS machines."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("sh1", Opcode.SHIFT),
+        ("rnd", Opcode.ALU), ("sh2", Opcode.SHIFT),
+        ("clamp_lo", Opcode.ALU), ("clamp_hi", Opcode.ALU),
+        ("st_q", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_x", "sh1", 0), ("sh1", "rnd", 0), ("rnd", "sh2", 0),
+        ("sh2", "clamp_lo", 0), ("clamp_lo", "clamp_hi", 0),
+        ("clamp_hi", "st_q", 0), ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="fixed_point_quantize")
+
+
+@_kernel
+def hash_mix_stream() -> Ddg:
+    """Streaming hash mix: the running state threads shift/xor/add per
+    element — a 3-op integer recurrence (RecMII 3)."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_k", Opcode.LOAD), ("xor_in", Opcode.ALU),
+        ("sh", Opcode.SHIFT), ("mixadd", Opcode.ALU),
+    ]
+    deps += [
+        ("ld_k", "xor_in", 0), ("mixadd", "xor_in", 1),
+        ("xor_in", "sh", 0), ("sh", "mixadd", 0),
+        ("i_upd", "ld_k", 0),
+    ]
+    return build_ddg(ops, deps, name="hash_mix_stream")
+
+
+@_kernel
+def lennard_jones_force() -> Ddg:
+    """Pairwise Lennard-Jones force: square root and divide on the
+    streaming path — the longest-latency ILP kernel here."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_dx", Opcode.LOAD), ("ld_dy", Opcode.LOAD),
+        ("sqx", Opcode.FP_MULT), ("sqy", Opcode.FP_MULT),
+        ("r2", Opcode.FP_ADD), ("r", Opcode.FP_SQRT),
+        ("inv", Opcode.FP_DIV), ("f", Opcode.FP_MULT),
+        ("st_f", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_dx", "sqx", 0), ("ld_dy", "sqy", 0),
+        ("sqx", "r2", 0), ("sqy", "r2", 0),
+        ("r2", "r", 0), ("r", "inv", 0),
+        ("inv", "f", 0), ("r2", "f", 0),
+        ("f", "st_f", 0), ("i_upd", "ld_dx", 0),
+    ]
+    return build_ddg(ops, deps, name="lennard_jones_force")
+
+
+@_kernel
+def alpha_blend() -> Ddg:
+    """Alpha compositing: ``out = a*src + (1-a)*dst`` per pixel."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_a", Opcode.LOAD), ("ld_src", Opcode.LOAD),
+        ("ld_dst", Opcode.LOAD), ("one_minus", Opcode.FP_ADD),
+        ("m_src", Opcode.FP_MULT), ("m_dst", Opcode.FP_MULT),
+        ("blend", Opcode.FP_ADD), ("st", Opcode.STORE),
+    ]
+    deps += [
+        ("ld_a", "one_minus", 0), ("ld_a", "m_src", 0),
+        ("ld_src", "m_src", 0), ("one_minus", "m_dst", 0),
+        ("ld_dst", "m_dst", 0), ("m_src", "blend", 0),
+        ("m_dst", "blend", 0), ("blend", "st", 0),
+        ("i_upd", "ld_a", 0),
+    ]
+    return build_ddg(ops, deps, name="alpha_blend")
+
+
+@_kernel
+def max_reduction_argmax() -> Ddg:
+    """Max + argmax reduction: two interlocked integer/FP recurrences
+    sharing the comparison — a dual-SCC stress case."""
+    ops, deps = _loop_overhead()
+    ops += [
+        ("ld_x", Opcode.LOAD), ("cmp", Opcode.FP_ADD),
+        ("sel_max", Opcode.FP_ADD), ("sel_idx", Opcode.ALU),
+    ]
+    deps += [
+        ("ld_x", "cmp", 0), ("sel_max", "cmp", 1),
+        ("cmp", "sel_max", 0), ("cmp", "sel_idx", 0),
+        ("sel_idx", "sel_idx", 1), ("i_upd", "ld_x", 0),
+    ]
+    return build_ddg(ops, deps, name="max_reduction_argmax")

@@ -1,0 +1,70 @@
+"""The one-call evaluation campaign."""
+
+import pytest
+
+from repro.analysis import Campaign, campaign_to_markdown, run_campaign
+from repro.workloads import paper_suite
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return run_campaign(n_loops=12, include_table3=False)
+
+
+class TestRunCampaign:
+    def test_all_figures_populated(self, small_campaign):
+        for title, results in small_campaign.sections():
+            assert results, title
+
+    def test_figure_series_counts(self, small_campaign):
+        assert len(small_campaign.fig12) == 4
+        assert len(small_campaign.fig13) == 4
+        assert len(small_campaign.fig14) == 3
+        assert len(small_campaign.fig15) == 2
+        assert len(small_campaign.fig16) == 3
+        assert len(small_campaign.fig17) == 3
+        assert len(small_campaign.fig18) == 3
+        assert len(small_campaign.fig19) == 3
+
+    def test_grid_present(self, small_campaign):
+        assert small_campaign.grid is not None
+        assert small_campaign.grid.n_loops == 12
+
+    def test_table3_skipped(self, small_campaign):
+        assert small_campaign.table3 == []
+
+    def test_table3_included_when_requested(self):
+        campaign = run_campaign(n_loops=4, include_table3=True)
+        assert len(campaign.table3) == 4
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        run_campaign(n_loops=3, include_table3=False,
+                     progress=messages.append)
+        assert any("grid" in message for message in messages)
+
+    def test_explicit_loops_respected(self):
+        loops = paper_suite(5)
+        campaign = run_campaign(loops=loops, include_table3=False)
+        assert campaign.n_loops == 5
+
+
+class TestMarkdownRendering:
+    def test_report_structure(self, small_campaign):
+        report = campaign_to_markdown(small_campaign)
+        assert "# Evaluation campaign" in report
+        assert "## Table 1" in report
+        assert "## Figure 12" in report
+        assert "## Figure 19" in report
+        assert "## Grid" in report
+
+    def test_report_contains_histograms(self, small_campaign):
+        report = campaign_to_markdown(small_campaign)
+        assert "x = 0" in report
+        assert "x <= 1" in report
+
+    def test_table3_rendered_when_present(self):
+        campaign = run_campaign(n_loops=3, include_table3=True)
+        report = campaign_to_markdown(campaign)
+        assert "## Table 3" in report
+        assert "Clusters" in report

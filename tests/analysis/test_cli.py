@@ -1,0 +1,96 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+LOOP_TEXT = """
+ld:  load
+mul: fp_mult <- ld
+acc: fp_add  <- mul, acc@1
+st:  store   <- acc
+"""
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.txt"
+    path.write_text(LOOP_TEXT)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_compile_default_machine(self, loop_file, capsys):
+        assert main(["compile", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "II = " in out
+        assert "assignment:" in out
+        assert "MaxLive" in out
+
+    def test_compile_each_machine(self, loop_file, capsys):
+        for machine in ("2gp", "4gp", "2fs", "4fs", "grid"):
+            assert main(["compile", loop_file, "--machine", machine]) == 0
+
+    def test_compile_with_variant(self, loop_file, capsys):
+        assert main(
+            ["compile", loop_file, "--variant", "simple"]
+        ) == 0
+
+    def test_compile_writes_dot(self, loop_file, tmp_path, capsys):
+        dot_path = tmp_path / "out.dot"
+        assert main(["compile", loop_file, "--dot", str(dot_path)]) == 0
+        assert dot_path.read_text().startswith("digraph")
+
+    def test_unknown_machine_exits(self, loop_file):
+        with pytest.raises(SystemExit):
+            main(["compile", loop_file, "--machine", "warp9"])
+
+    def test_stdin_input(self, loop_file, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(LOOP_TEXT))
+        assert main(["compile", "-"]) == 0
+
+
+class TestStatsCommand:
+    def test_stats(self, capsys):
+        assert main(["stats", "--loops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Nodes" in out
+        assert "60 loops" in out
+
+
+class TestExperimentCommand:
+    def test_experiment(self, capsys):
+        assert main(
+            ["experiment", "--machine", "2gp", "--loops", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "x = 0" in out
+        assert "match=" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEmitAndSimulate:
+    def test_emit_prints_pipelined_code(self, loop_file, capsys):
+        assert main(["compile", loop_file, "--emit"]) == 0
+        out = capsys.readouterr().out
+        assert "PROLOGUE" in out
+        assert "PREDICATED KERNEL" in out
+
+    def test_simulate_reports_match(self, loop_file, capsys):
+        assert main(["compile", loop_file, "--simulate", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL MATCH" in out
+
+    def test_emit_and_simulate_on_grid(self, loop_file, capsys):
+        assert main(
+            ["compile", loop_file, "--machine", "grid",
+             "--emit", "--simulate", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ALL MATCH" in out

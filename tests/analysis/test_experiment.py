@@ -1,0 +1,94 @@
+"""Experiment runner and unified baseline cache."""
+
+import pytest
+
+from repro.analysis import (
+    UnifiedBaseline,
+    run_experiment,
+    run_sweep,
+    run_variant_comparison,
+)
+from repro.core import HEURISTIC_ITERATIVE, SIMPLE
+from repro.machine import two_cluster_gp
+from repro.workloads import paper_suite
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return paper_suite(20)
+
+
+class TestRunExperiment:
+    def test_outcomes_cover_all_loops(self, small_suite):
+        result = run_experiment(small_suite, two_cluster_gp(), verify=True)
+        assert result.n_loops == 20
+        names = {outcome.loop_name for outcome in result.outcomes}
+        assert len(names) == 20
+
+    def test_deviation_non_negative_in_practice(self, small_suite):
+        result = run_experiment(small_suite, two_cluster_gp())
+        assert all(outcome.deviation >= 0 for outcome in result.outcomes)
+
+    def test_match_percentage_consistent(self, small_suite):
+        result = run_experiment(small_suite, two_cluster_gp())
+        matches = sum(1 for o in result.outcomes if o.deviation == 0)
+        assert result.match_percentage == pytest.approx(
+            100.0 * matches / 20
+        )
+
+    def test_label_defaults_to_machine_and_config(self, small_suite):
+        result = run_experiment(small_suite[:2], two_cluster_gp())
+        assert "2cl-gp" in result.label
+        assert "Heuristic Iterative" in result.label
+
+    def test_elapsed_recorded(self, small_suite):
+        result = run_experiment(small_suite[:2], two_cluster_gp())
+        assert result.elapsed_seconds > 0
+
+
+class TestBaselineCache:
+    def test_cache_shared_across_experiments(self, small_suite):
+        baseline = UnifiedBaseline()
+        machine = two_cluster_gp()
+        run_experiment(small_suite, machine, baseline=baseline)
+        assert len(baseline) == 20
+        run_experiment(small_suite, machine, config=SIMPLE,
+                       baseline=baseline)
+        assert len(baseline) == 20  # no recomputation
+
+    def test_cache_is_correct(self, small_suite):
+        from repro.core import compile_loop
+        baseline = UnifiedBaseline()
+        machine = two_cluster_gp()
+        unified = machine.unified_equivalent()
+        ddg = small_suite[0]
+        cached = baseline.ii_for(ddg, unified)
+        assert cached == compile_loop(ddg, unified).ii
+
+
+class TestSweepAndComparison:
+    def test_sweep_one_result_per_machine(self, small_suite):
+        machines = [two_cluster_gp(buses=b) for b in (1, 2)]
+        results = run_sweep(small_suite[:5], machines,
+                            labels=["1 bus", "2 buses"])
+        assert [r.label for r in results] == ["1 bus", "2 buses"]
+
+    def test_sweep_label_mismatch_rejected(self, small_suite):
+        with pytest.raises(ValueError):
+            run_sweep(small_suite[:2], [two_cluster_gp()], labels=["a", "b"])
+
+    def test_variant_comparison_labels_by_config(self, small_suite):
+        results = run_variant_comparison(
+            small_suite[:5], two_cluster_gp(), [SIMPLE, HEURISTIC_ITERATIVE]
+        )
+        assert [r.label for r in results] == [
+            "Simple", "Heuristic Iterative",
+        ]
+
+    def test_more_buses_never_hurt(self, small_suite):
+        results = run_sweep(
+            small_suite,
+            [two_cluster_gp(buses=1), two_cluster_gp(buses=4)],
+        )
+        assert (results[1].match_percentage
+                >= results[0].match_percentage - 1e-9)

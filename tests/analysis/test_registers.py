@@ -1,0 +1,123 @@
+"""Register pressure (MaxLive) analysis."""
+
+import pytest
+
+from repro.analysis.registers import (
+    format_pressure,
+    register_pressure,
+)
+from repro.core import compile_loop
+from repro.ddg import Ddg, Opcode, trivial_annotation
+from repro.machine import two_cluster_gp, unified_gp
+from repro.scheduling import Schedule
+
+
+def _schedule(graph, machine, ii, starts):
+    annotated = trivial_annotation(graph, machine)
+    return Schedule(annotated=annotated, ii=ii, start=starts)
+
+
+class TestSimpleLifetimes:
+    def test_back_to_back_value(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)  # latency 1
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=0)
+        schedule = _schedule(graph, unified_gp(4), 2, {a: 0, b: 1})
+        pressure = register_pressure(schedule)
+        # a's value born cycle 1, read cycle 1: one register, briefly.
+        assert pressure.max_live(0) == 1
+
+    def test_long_lifetime_overlaps_itself(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=0)
+        # Value lives from cycle 1 to cycle 7 (length 6) at II 2:
+        # ceil(6/2) = 3 simultaneous instances.
+        schedule = _schedule(graph, unified_gp(4), 2, {a: 0, b: 7})
+        assert register_pressure(schedule).max_live(0) == 3
+
+    def test_store_produces_no_value(self):
+        graph = Ddg()
+        st = graph.add_node(Opcode.STORE)
+        ld = graph.add_node(Opcode.LOAD)
+        graph.add_edge(st, ld, distance=1)
+        schedule = _schedule(graph, unified_gp(4), 2, {st: 0, ld: 0})
+        assert register_pressure(schedule).total_max_live == 0
+
+    def test_value_without_consumers_free(self):
+        graph = Ddg()
+        graph.add_node(Opcode.ALU)
+        schedule = _schedule(graph, unified_gp(4), 1, {0: 0})
+        assert register_pressure(schedule).total_max_live == 0
+
+    def test_loop_carried_use_extends_lifetime(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=2)  # read two iterations later
+        schedule = _schedule(graph, unified_gp(4), 3, {a: 0, b: 1})
+        # Lifetime 1 .. 1 + 2*3 = 7: length 6 -> ceil(6/3) = 2 instances.
+        assert register_pressure(schedule).max_live(0) == 2
+
+
+class TestClusteredPressure:
+    def test_pressure_split_across_clusters(self):
+        graph = Ddg()
+        src = graph.add_node(Opcode.ALU, name="src")
+        for i in range(15):
+            node = graph.add_node(Opcode.ALU)
+            graph.add_edge(src, node, distance=0)
+        machine = two_cluster_gp()
+        result = compile_loop(graph, machine, verify=True)
+        pressure = register_pressure(result.schedule)
+        assert set(pressure.per_cluster) == {0, 1}
+        assert pressure.total_max_live >= 1
+
+    def test_kernel_pressure_reasonable(self):
+        from repro.workloads import build_kernel
+        result = compile_loop(
+            build_kernel("lk7_equation_of_state"), two_cluster_gp(),
+            verify=True,
+        )
+        pressure = register_pressure(result.schedule)
+        # A 14-op kernel cannot need hundreds of registers.
+        assert 1 <= pressure.total_max_live <= 40
+
+
+class TestFormatting:
+    def test_format_pressure(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=0)
+        schedule = _schedule(graph, unified_gp(4), 2, {a: 0, b: 1})
+        text = format_pressure(register_pressure(schedule))
+        assert "C0: 1" in text
+        assert "total 1" in text
+
+
+class TestMveUnrollFactor:
+    def test_short_lifetimes_need_no_unrolling(self, chain3, uni8):
+        from repro.analysis import mve_unroll_factor
+        from repro.ddg import trivial_annotation
+        from repro.scheduling import modulo_schedule
+        schedule = modulo_schedule(trivial_annotation(chain3, uni8), ii=6)
+        assert mve_unroll_factor(schedule) == 1
+
+    def test_long_lifetime_forces_unrolling(self, uni8):
+        from repro.analysis import mve_unroll_factor
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=0)
+        schedule = _schedule(graph, unified_gp(4), 2, {a: 0, b: 7})
+        # Lifetime 6 at II 2 -> 3 overlapping instances.
+        assert mve_unroll_factor(schedule) == 3
+
+    def test_kernel_factors_reasonable(self):
+        from repro.analysis import mve_unroll_factor
+        from repro.workloads import build_kernel
+        result = compile_loop(build_kernel("daxpy"), two_cluster_gp())
+        assert 1 <= mve_unroll_factor(result.schedule) <= 8

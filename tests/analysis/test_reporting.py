@@ -1,0 +1,84 @@
+"""Text report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    LoopOutcome,
+    cumulative_table,
+    deviation_table,
+    experiment_summary,
+    match_bar_chart,
+    table3_rows,
+)
+
+
+def _result(label, deviations):
+    result = ExperimentResult(
+        label=label, machine_name="m", config_name="c"
+    )
+    for index, deviation in enumerate(deviations):
+        result.outcomes.append(
+            LoopOutcome(
+                loop_name=f"loop{index}",
+                unified_ii=4,
+                clustered_ii=4 + deviation,
+                copies=deviation,
+            )
+        )
+    return result
+
+
+class TestDeviationTable:
+    def test_columns_per_series(self):
+        text = deviation_table(
+            [_result("A", [0, 0, 1]), _result("B", [0, 2, 5])]
+        )
+        assert "A" in text and "B" in text
+        assert "x = 0" in text
+        assert "x = 3+" in text
+        assert "66.7%" in text  # A's match rate
+
+    def test_empty(self):
+        assert deviation_table([]) == "(no results)"
+
+
+class TestBarChart:
+    def test_bar_lengths_scale(self):
+        text = match_bar_chart(
+            [_result("full", [0, 0]), _result("half", [0, 1])]
+        )
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "100.0%" in lines[0]
+        assert "50.0%" in lines[1]
+
+    def test_empty(self):
+        assert match_bar_chart([]) == "(no results)"
+
+
+class TestCumulativeTable:
+    def test_monotone_rows(self):
+        text = cumulative_table([_result("A", [0, 1, 2, 3, 4])])
+        assert "x <= 0" in text
+        assert "x <= 3" in text
+
+    def test_empty(self):
+        assert cumulative_table([]) == "(no results)"
+
+
+class TestTable3:
+    def test_rows_render(self):
+        text = table3_rows([(2, 2, 1, 99.7), (4, 4, 2, 97.5)])
+        assert "Clusters" in text
+        assert "99.7%" in text
+        assert "97.5%" in text
+
+
+class TestSummary:
+    def test_one_line_summary(self):
+        result = _result("A", [0, 0, 1])
+        line = experiment_summary(result)
+        assert "A:" in line
+        assert "match=66.7%" in line
+        assert "loops=3" in line

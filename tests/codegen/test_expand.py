@@ -1,0 +1,105 @@
+"""Software-pipeline expansion."""
+
+import pytest
+
+from repro.codegen import (
+    expand_pipeline,
+    format_kernel_only,
+    format_pipelined,
+)
+from repro.core import compile_loop
+from repro.machine import two_cluster_gp, unified_gp
+from repro.workloads import all_kernels, build_kernel
+
+
+@pytest.fixture
+def lk5(two_gp):
+    return compile_loop(build_kernel("lk5_tridiag"), two_gp, verify=True)
+
+
+class TestExpansionStructure:
+    def test_region_lengths(self, lk5):
+        code = expand_pipeline(lk5.schedule)
+        stages = lk5.schedule.stage_count
+        assert len(code.kernel) == lk5.ii
+        assert code.prologue_cycles == (stages - 1) * lk5.ii
+        assert code.epilogue_cycles == (stages - 1) * lk5.ii
+
+    def test_expansion_factor_equals_stage_count(self, lk5):
+        """The classic result: flat code replicates each op S times."""
+        code = expand_pipeline(lk5.schedule)
+        n_ops = len(lk5.annotated.ddg)
+        assert code.static_instruction_count == (
+            lk5.schedule.stage_count * n_ops
+        )
+        assert code.expansion_factor(n_ops) == lk5.schedule.stage_count
+
+    def test_expansion_law_holds_for_all_kernels(self, two_gp):
+        for loop in all_kernels():
+            result = compile_loop(loop, two_gp)
+            code = expand_pipeline(result.schedule)
+            n_ops = len(result.annotated.ddg)
+            assert code.static_instruction_count == (
+                result.schedule.stage_count * n_ops
+            ), loop.name
+
+    def test_kernel_contains_each_op_once(self, lk5):
+        code = expand_pipeline(lk5.schedule)
+        kernel_ops = [
+            entry.node_id for cycle in code.kernel for entry in cycle
+        ]
+        assert sorted(kernel_ops) == sorted(lk5.annotated.ddg.node_ids)
+
+    def test_prologue_counts_by_stage(self, lk5):
+        """An op of stage s appears S-1-s times in the prologue and s
+        times in the epilogue."""
+        code = expand_pipeline(lk5.schedule)
+        stages = lk5.schedule.stage_count
+        from collections import Counter
+        prologue = Counter(
+            e.node_id for cycle in code.prologue for e in cycle
+        )
+        epilogue = Counter(
+            e.node_id for cycle in code.epilogue for e in cycle
+        )
+        for node_id in lk5.annotated.ddg.node_ids:
+            stage = lk5.schedule.stage(node_id)
+            assert prologue.get(node_id, 0) == stages - 1 - stage
+            assert epilogue.get(node_id, 0) == stage
+
+    def test_single_stage_schedule_has_empty_ramp(self, uni8):
+        from repro.ddg import Ddg, Opcode
+        graph = Ddg()
+        graph.add_node(Opcode.ALU)
+        result = compile_loop(graph, uni8)
+        code = expand_pipeline(result.schedule)
+        assert code.prologue_cycles == 0
+        assert code.epilogue_cycles == 0
+
+    def test_min_trip_count(self, lk5):
+        code = expand_pipeline(lk5.schedule)
+        assert code.min_trip_count() == lk5.schedule.stage_count
+
+
+class TestEmission:
+    def test_flat_listing_mentions_regions(self, lk5):
+        code = expand_pipeline(lk5.schedule)
+        text = format_pipelined(code, lk5.schedule)
+        assert "PROLOGUE" in text
+        assert "KERNEL" in text
+        assert "EPILOGUE" in text
+
+    def test_flat_listing_mentions_clusters(self, lk5):
+        code = expand_pipeline(lk5.schedule)
+        text = format_pipelined(code, lk5.schedule)
+        assert "@C0" in text
+
+    def test_kernel_only_has_stage_predicates(self, lk5):
+        text = format_kernel_only(lk5.schedule)
+        assert "p0?" in text
+        assert f"II={lk5.ii}" in text
+
+    def test_kernel_only_lists_every_op(self, lk5):
+        text = format_kernel_only(lk5.schedule)
+        for node in lk5.annotated.ddg.nodes:
+            assert str(node) in text

@@ -1,0 +1,147 @@
+"""Annotated-graph construction from finished assignments."""
+
+import pytest
+
+from repro.core import build_annotated, plan_copies
+from repro.core.copies import CopyPlan, CopySpec
+from repro.ddg import Ddg, Opcode
+from repro.machine import four_cluster_gp, four_cluster_grid, two_cluster_gp
+
+
+@pytest.fixture
+def split_pair(two_gp):
+    """Producer on C0, consumer on C1, with the matching plan."""
+    graph = Ddg(name="pair")
+    producer = graph.add_node(Opcode.ALU, name="p")
+    consumer = graph.add_node(Opcode.FP_ADD, name="c")
+    graph.add_edge(producer, consumer, distance=0)
+    cluster_of = {producer: 0, consumer: 1}
+    plan = plan_copies(two_gp, producer, 0, {1})
+    return graph, two_gp, cluster_of, {producer: plan}
+
+
+class TestBasicRewiring:
+    def test_copy_node_inserted(self, split_pair):
+        graph, machine, cluster_of, plans = split_pair
+        annotated = build_annotated(graph, machine, cluster_of, plans)
+        assert annotated.copy_count == 1
+        assert len(annotated.ddg) == 3
+
+    def test_edges_rerouted_through_copy(self, split_pair):
+        graph, machine, cluster_of, plans = split_pair
+        annotated = build_annotated(graph, machine, cluster_of, plans)
+        copy_id = annotated.copy_nodes[0]
+        new = annotated.ddg
+        assert new.successors(0) == [copy_id]
+        assert new.successors(copy_id) == [1]
+
+    def test_copy_cluster_and_targets(self, split_pair):
+        graph, machine, cluster_of, plans = split_pair
+        annotated = build_annotated(graph, machine, cluster_of, plans)
+        copy_id = annotated.copy_nodes[0]
+        assert annotated.cluster_of[copy_id] == 0
+        assert annotated.copy_targets[copy_id] == (1,)
+        assert annotated.copy_value_of[copy_id] == 0
+
+    def test_original_ids_preserved(self, split_pair):
+        graph, machine, cluster_of, plans = split_pair
+        annotated = build_annotated(graph, machine, cluster_of, plans)
+        for node in graph.nodes:
+            assert annotated.ddg.node(node.node_id).opcode is node.opcode
+
+
+class TestDistanceSemantics:
+    def test_loop_carried_distance_moves_to_consumer_edge(self, two_gp):
+        graph = Ddg()
+        producer = graph.add_node(Opcode.ALU)
+        consumer = graph.add_node(Opcode.ALU)
+        graph.add_edge(producer, consumer, distance=2)
+        cluster_of = {producer: 0, consumer: 1}
+        plans = {producer: plan_copies(two_gp, producer, 0, {1})}
+        annotated = build_annotated(graph, two_gp, cluster_of, plans)
+        copy_id = annotated.copy_nodes[0]
+        produce_edge = annotated.ddg.out_edges(producer)[0]
+        consume_edge = annotated.ddg.out_edges(copy_id)[0]
+        assert produce_edge.distance == 0
+        assert consume_edge.distance == 2
+
+    def test_copy_on_recurrence_raises_recmii(self, two_gp):
+        """Observation Two: a copy inside an SCC lengthens the critical
+        cycle by its latency."""
+        from repro.ddg import rec_mii
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=1)
+        assert rec_mii(graph) == 2
+        cluster_of = {a: 0, b: 1}
+        plans = {
+            a: plan_copies(two_gp, a, 0, {1}),
+            b: plan_copies(two_gp, b, 1, {0}),
+        }
+        annotated = build_annotated(graph, two_gp, cluster_of, plans)
+        # Two copies add 2 cycles to the cycle: RecMII 2 -> 4.
+        assert rec_mii(annotated.ddg) == 4
+
+
+class TestBroadcast:
+    def test_one_copy_feeds_multiple_clusters(self, four_gp):
+        graph = Ddg()
+        producer = graph.add_node(Opcode.ALU)
+        consumers = [graph.add_node(Opcode.ALU) for _ in range(3)]
+        for consumer in consumers:
+            graph.add_edge(producer, consumer, distance=0)
+        cluster_of = {producer: 0}
+        cluster_of.update({c: i + 1 for i, c in enumerate(consumers)})
+        plans = {producer: plan_copies(four_gp, producer, 0, {1, 2, 3})}
+        annotated = build_annotated(graph, four_gp, cluster_of, plans)
+        assert annotated.copy_count == 1
+        copy_id = annotated.copy_nodes[0]
+        assert set(annotated.ddg.successors(copy_id)) == set(consumers)
+
+
+class TestMultiHop:
+    def test_diagonal_chain_on_grid(self, grid):
+        graph = Ddg()
+        producer = graph.add_node(Opcode.FP_ADD)
+        consumer = graph.add_node(Opcode.FP_ADD)
+        graph.add_edge(producer, consumer, distance=0)
+        cluster_of = {producer: 0, consumer: 3}
+        plans = {producer: plan_copies(grid, producer, 0, {3})}
+        annotated = build_annotated(graph, grid, cluster_of, plans)
+        assert annotated.copy_count == 2
+        # Chain: producer -> hop1 -> hop2 -> consumer.
+        hop1, hop2 = annotated.copy_nodes
+        assert annotated.ddg.successors(producer) == [hop1]
+        assert annotated.ddg.successors(hop1) == [hop2]
+        assert annotated.ddg.successors(hop2) == [consumer]
+
+
+class TestErrors:
+    def test_value_never_reaching_consumer_cluster(self, two_gp):
+        graph = Ddg()
+        producer = graph.add_node(Opcode.ALU)
+        consumer = graph.add_node(Opcode.ALU)
+        graph.add_edge(producer, consumer, distance=0)
+        # Plan is missing even though clusters differ.
+        with pytest.raises(ValueError):
+            build_annotated(
+                graph, two_gp, {producer: 0, consumer: 1}, {}
+            )
+
+    def test_bad_plan_reading_unreached_cluster(self, two_gp):
+        graph = Ddg()
+        producer = graph.add_node(Opcode.ALU)
+        consumer = graph.add_node(Opcode.ALU)
+        graph.add_edge(producer, consumer, distance=0)
+        bogus = CopyPlan(
+            producer=producer,
+            specs=(CopySpec(src_cluster=1, targets=(0,)),),
+            resources=(),
+        )
+        with pytest.raises(ValueError):
+            build_annotated(
+                graph, two_gp, {producer: 0, consumer: 1},
+                {producer: bogus},
+            )

@@ -1,0 +1,47 @@
+"""Assignment work-list construction (Section 4.1)."""
+
+import pytest
+
+from repro.core import build_assignment_order
+from repro.ddg import Ddg, Opcode
+
+
+class TestAssignmentOrder:
+    def test_covers_all_nodes(self, intro_example):
+        order = build_assignment_order(intro_example, ii=4)
+        assert sorted(order.order) == sorted(intro_example.node_ids)
+
+    def test_rank_matches_order(self, intro_example):
+        order = build_assignment_order(intro_example, ii=4)
+        for position, node in enumerate(order.order):
+            assert order.rank[node] == position
+            assert order.priority_of(node) == position
+
+    def test_scc_nodes_lead(self, intro_example):
+        order = build_assignment_order(intro_example, ii=4)
+        scc_nodes = set(intro_example.node_ids[1:4])
+        assert set(order.order[:3]) == scc_nodes
+
+    def test_scc_lookup(self, intro_example):
+        order = build_assignment_order(intro_example, ii=4)
+        b = intro_example.node_ids[1]
+        a = intro_example.node_ids[0]
+        assert order.scc_of(b) is not None
+        assert order.scc_of(a) is None
+
+    def test_critical_scc_before_minor_scc(self):
+        graph = Ddg()
+        minor = [graph.add_node(Opcode.ALU) for _ in range(2)]
+        graph.add_edge(minor[0], minor[1], distance=0)
+        graph.add_edge(minor[1], minor[0], distance=1)
+        major = [graph.add_node(Opcode.FP_DIV) for _ in range(2)]
+        graph.add_edge(major[0], major[1], distance=0)
+        graph.add_edge(major[1], major[0], distance=1)
+        order = build_assignment_order(graph, ii=18)
+        assert set(order.order[:2]) == set(major)
+
+    def test_single_node_graph(self):
+        graph = Ddg()
+        node = graph.add_node(Opcode.ALU)
+        order = build_assignment_order(graph, ii=1)
+        assert order.order == [node]

@@ -1,0 +1,114 @@
+"""PCR / MRC / UpperBound prediction (Section 4.2)."""
+
+import pytest
+
+from repro.core import (
+    RoutingState,
+    predicted_copy_requests,
+    prediction_satisfied,
+    upper_bound,
+)
+from repro.ddg import Ddg, Opcode
+from repro.machine import four_cluster_grid, two_cluster_gp
+from repro.mrt import ResourcePools
+
+
+@pytest.fixture
+def fanout(two_gp):
+    """Producer with three unassigned consumers on a bused machine."""
+    graph = Ddg()
+    producer = graph.add_node(Opcode.ALU, name="p")
+    consumers = [graph.add_node(Opcode.ALU, name=f"c{i}") for i in range(3)]
+    for consumer in consumers:
+        graph.add_edge(producer, consumer, distance=0)
+    pools = ResourcePools(two_gp, ii=2)
+    state = RoutingState(graph, two_gp, pools)
+    return two_gp, state, pools, producer, consumers
+
+
+class TestUpperBound:
+    def test_broadcast_upper_bound_is_one(self, fanout):
+        machine, state, pools, producer, _ = fanout
+        state.set_cluster(producer, 0)
+        assert upper_bound(machine, state, producer) == 1
+
+    def test_broadcast_bound_drops_to_zero_after_copy(self, fanout):
+        machine, state, pools, producer, consumers = fanout
+        state.set_cluster(producer, 0)
+        state.set_cluster(consumers[0], 1)  # forces the broadcast copy
+        assert state.required_copies(producer) == 1
+        assert upper_bound(machine, state, producer) == 0
+
+    def test_point_to_point_bound_is_cluster_count_minus_one(self):
+        machine = four_cluster_grid()
+        graph = Ddg()
+        producer = graph.add_node(Opcode.ALU)
+        consumer = graph.add_node(Opcode.ALU)
+        graph.add_edge(producer, consumer, distance=0)
+        pools = ResourcePools(machine, ii=2)
+        state = RoutingState(graph, machine, pools)
+        state.set_cluster(producer, 0)
+        assert upper_bound(machine, state, producer) == 3
+
+    def test_store_has_zero_bound(self, two_gp):
+        graph = Ddg()
+        store = graph.add_node(Opcode.STORE)
+        pools = ResourcePools(two_gp, ii=2)
+        state = RoutingState(graph, two_gp, pools)
+        state.set_cluster(store, 0)
+        assert upper_bound(two_gp, state, store) == 0
+
+
+class TestPcr:
+    def test_pcr_counts_min_of_bound_and_unassigned(self, fanout):
+        machine, state, pools, producer, consumers = fanout
+        state.set_cluster(producer, 0)
+        # UpperBound 1, three unassigned successors -> min = 1.
+        assert predicted_copy_requests(machine, state, {producer}) == 1
+
+    def test_pcr_drops_as_consumers_assign(self, fanout):
+        machine, state, pools, producer, consumers = fanout
+        state.set_cluster(producer, 0)
+        for consumer in consumers:
+            state.set_cluster(consumer, 0)
+        # All consumers local and assigned: nothing predicted.
+        assert predicted_copy_requests(machine, state, {producer}) == 0
+
+    def test_pcr_sums_over_cluster_nodes(self, two_gp):
+        graph = Ddg()
+        p1 = graph.add_node(Opcode.ALU)
+        p2 = graph.add_node(Opcode.ALU)
+        c1 = graph.add_node(Opcode.ALU)
+        c2 = graph.add_node(Opcode.ALU)
+        graph.add_edge(p1, c1, distance=0)
+        graph.add_edge(p2, c2, distance=0)
+        pools = ResourcePools(two_gp, ii=2)
+        state = RoutingState(graph, two_gp, pools)
+        state.set_cluster(p1, 0)
+        state.set_cluster(p2, 0)
+        assert predicted_copy_requests(two_gp, state, {p1, p2}) == 2
+
+
+class TestPredictionCriterion:
+    def test_satisfied_with_room(self, fanout):
+        machine, state, pools, producer, _ = fanout
+        state.set_cluster(producer, 0)
+        # PCR 1 <= MRC min(rd 2, bus 4) = 2.
+        assert prediction_satisfied(machine, state, pools, 0, {producer})
+
+    def test_violated_when_ports_consumed(self, two_gp):
+        graph = Ddg()
+        producers = [graph.add_node(Opcode.ALU) for _ in range(3)]
+        consumers = [graph.add_node(Opcode.ALU) for _ in range(3)]
+        for p, c in zip(producers, consumers):
+            graph.add_edge(p, c, distance=0)
+        pools = ResourcePools(two_gp, ii=2)
+        state = RoutingState(graph, two_gp, pools)
+        for p in producers:
+            state.set_cluster(p, 0)
+        # Two copies consume both rd slots of C0 (II 2, 1 port).
+        state.set_cluster(consumers[0], 1)
+        state.set_cluster(consumers[1], 1)
+        # Third producer still predicts a copy but MRC is now 0.
+        on_cluster = set(producers)
+        assert not prediction_satisfied(two_gp, state, pools, 0, on_cluster)

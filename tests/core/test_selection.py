@@ -1,0 +1,167 @@
+"""Selection chains (Figures 9, 10 and 11)."""
+
+import pytest
+
+from repro.core import (
+    CandidateInfo,
+    select,
+    select_best_cluster,
+    select_failure_cluster,
+    select_min,
+)
+
+
+def _candidate(cluster, **overrides):
+    defaults = dict(
+        cluster=cluster,
+        feasible=True,
+        shares_scc=False,
+        prediction_ok=True,
+        new_copies=0,
+        free_resources=10,
+        previously_here=False,
+        op_fits=True,
+        conflicts=0,
+    )
+    defaults.update(overrides)
+    return CandidateInfo(**defaults)
+
+
+class TestSelectPrimitive:
+    def test_filters_by_criterion(self):
+        candidates = [_candidate(0), _candidate(1, feasible=False)]
+        kept = select(candidates, lambda c: c.feasible)
+        assert [c.cluster for c in kept] == [0]
+
+    def test_keeps_list_when_criterion_empties_it(self):
+        """Figure 9 line 2: LIST is replaced only if NewLIST is nonempty."""
+        candidates = [_candidate(0), _candidate(1)]
+        kept = select(candidates, lambda c: c.cluster > 5)
+        assert kept == candidates
+
+    def test_select_min(self):
+        candidates = [
+            _candidate(0, new_copies=2),
+            _candidate(1, new_copies=1),
+            _candidate(2, new_copies=1),
+        ]
+        kept = select_min(candidates, lambda c: c.new_copies)
+        assert [c.cluster for c in kept] == [1, 2]
+
+    def test_select_min_empty(self):
+        assert select_min([], lambda c: 0) == []
+
+
+class TestFigure10:
+    def test_infeasible_everywhere_returns_none(self):
+        candidates = [_candidate(c, feasible=False) for c in range(2)]
+        assert select_best_cluster(candidates, False, True) is None
+
+    def test_scc_affinity_wins(self):
+        candidates = [
+            _candidate(0),
+            _candidate(1, shares_scc=True, free_resources=1),
+        ]
+        assert select_best_cluster(candidates, True, True) == 1
+
+    def test_scc_affinity_ignored_outside_scc(self):
+        candidates = [
+            _candidate(0, free_resources=5),
+            _candidate(1, shares_scc=True, free_resources=1),
+        ]
+        assert select_best_cluster(candidates, False, True) == 0
+
+    def test_prediction_filter(self):
+        candidates = [
+            _candidate(0, prediction_ok=False, free_resources=99),
+            _candidate(1),
+        ]
+        assert select_best_cluster(candidates, False, True) == 1
+
+    def test_fewest_copies_preferred(self):
+        candidates = [
+            _candidate(0, new_copies=2, free_resources=99),
+            _candidate(1, new_copies=0),
+        ]
+        assert select_best_cluster(candidates, False, True) == 1
+
+    def test_free_resources_breaks_ties(self):
+        candidates = [
+            _candidate(0, free_resources=3),
+            _candidate(1, free_resources=7),
+        ]
+        assert select_best_cluster(candidates, False, True) == 1
+
+    def test_first_cluster_on_full_tie(self):
+        candidates = [_candidate(1), _candidate(0)]
+        assert select_best_cluster(candidates, False, True) == 0
+
+    def test_rule_a_avoids_previous_cluster(self):
+        candidates = [
+            _candidate(0, previously_here=True),
+            _candidate(1, free_resources=1),
+        ]
+        assert select_best_cluster(candidates, False, True) == 1
+
+    def test_rule_a_soft_when_everything_previous(self):
+        candidates = [
+            _candidate(0, previously_here=True),
+            _candidate(1, previously_here=True),
+        ]
+        assert select_best_cluster(candidates, False, True) == 0
+
+    def test_priority_order_scc_over_prediction(self):
+        """SCC affinity (line 4) is applied before prediction (line 6)."""
+        candidates = [
+            _candidate(0, shares_scc=True, prediction_ok=False),
+            _candidate(1, prediction_ok=True),
+        ]
+        assert select_best_cluster(candidates, True, True) == 0
+
+    def test_simple_variant_skips_heuristics(self):
+        candidates = [
+            _candidate(0, new_copies=5, free_resources=0),
+            _candidate(1, new_copies=0, free_resources=99),
+        ]
+        # Without the heuristic, the first feasible cluster wins.
+        assert select_best_cluster(candidates, False, False) == 0
+
+    def test_simple_variant_still_applies_rule_a(self):
+        candidates = [
+            _candidate(0, previously_here=True),
+            _candidate(1),
+        ]
+        assert select_best_cluster(candidates, False, False) == 1
+
+
+class TestFigure11:
+    def test_prefers_clusters_where_op_fits(self):
+        candidates = [
+            _candidate(0, op_fits=False, conflicts=0),
+            _candidate(1, op_fits=True, conflicts=5),
+        ]
+        assert select_failure_cluster(candidates) == 1
+
+    def test_minimizes_conflicts(self):
+        candidates = [
+            _candidate(0, conflicts=3),
+            _candidate(1, conflicts=1),
+        ]
+        assert select_failure_cluster(candidates) == 1
+
+    def test_rule_a_between_fit_and_conflicts(self):
+        candidates = [
+            _candidate(0, previously_here=True, conflicts=0),
+            _candidate(1, conflicts=0),
+        ]
+        assert select_failure_cluster(candidates) == 1
+
+    def test_nothing_fits_falls_back_to_all(self):
+        candidates = [
+            _candidate(0, op_fits=False, conflicts=2),
+            _candidate(1, op_fits=False, conflicts=1),
+        ]
+        assert select_failure_cluster(candidates) == 1
+
+    def test_empty_candidates(self):
+        assert select_failure_cluster([]) is None

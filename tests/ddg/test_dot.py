@@ -1,0 +1,66 @@
+"""DOT export."""
+
+import pytest
+
+from repro.core import assign_clusters
+from repro.ddg.dot import annotated_to_dot, ddg_to_dot
+from repro.machine import two_cluster_gp
+
+
+class TestDdgToDot:
+    def test_contains_every_node_and_edge(self, intro_example):
+        dot = ddg_to_dot(intro_example)
+        for node_id in intro_example.node_ids:
+            assert f"n{node_id}" in dot
+        assert dot.count("->") == intro_example.edge_count()
+
+    def test_loop_carried_edges_are_dashed_and_labelled(
+        self, intro_example
+    ):
+        dot = ddg_to_dot(intro_example)
+        assert "style=dashed" in dot
+        assert 'label="1"' in dot
+
+    def test_latency_in_label(self, chain3):
+        dot = ddg_to_dot(chain3)
+        assert "load (2)" in dot
+        assert "fp_mult (3)" in dot
+
+    def test_title_override(self, chain3):
+        assert 'digraph "custom"' in ddg_to_dot(chain3, title="custom")
+
+    def test_valid_braces(self, intro_example):
+        dot = ddg_to_dot(intro_example)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestAnnotatedToDot:
+    @pytest.fixture
+    def annotated(self):
+        from repro.ddg import Ddg, Opcode
+        graph = Ddg(name="wide")
+        src = graph.add_node(Opcode.ALU, name="src")
+        for i in range(15):
+            node = graph.add_node(Opcode.ALU, name=f"op{i}")
+            graph.add_edge(src, node, distance=0)
+        result = assign_clusters(graph, two_cluster_gp(), ii=2)
+        assert result is not None
+        return result
+
+    def test_one_subgraph_per_cluster(self, annotated):
+        dot = annotated_to_dot(annotated)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+
+    def test_copies_rendered_as_diamonds(self, annotated):
+        dot = annotated_to_dot(annotated)
+        assert annotated.copy_count >= 1
+        assert "shape=diamond" in dot
+
+    def test_copy_targets_in_label(self, annotated):
+        dot = annotated_to_dot(annotated)
+        assert "copy\\n-> C" in dot
+
+    def test_valid_braces(self, annotated):
+        dot = annotated_to_dot(annotated)
+        assert dot.count("{") == dot.count("}")

@@ -1,0 +1,98 @@
+"""Operation set and latency table (paper Table 2)."""
+
+import pytest
+
+from repro.ddg.opcodes import (
+    FuClass,
+    Opcode,
+    OpcodeInfo,
+    all_opcode_info,
+    fu_class_of,
+    latency_of,
+    produces_value,
+)
+
+
+class TestLatencies:
+    """Table 2: exact latency of every operation class."""
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.ALU, Opcode.SHIFT, Opcode.BRANCH, Opcode.STORE,
+         Opcode.FP_ADD, Opcode.COPY],
+    )
+    def test_single_cycle_ops(self, opcode):
+        assert latency_of(opcode) == 1
+
+    def test_load_is_two_cycles(self):
+        assert latency_of(Opcode.LOAD) == 2
+
+    def test_fp_mult_is_three_cycles(self):
+        assert latency_of(Opcode.FP_MULT) == 3
+
+    @pytest.mark.parametrize("opcode", [Opcode.FP_DIV, Opcode.FP_SQRT])
+    def test_long_latency_fp(self, opcode):
+        assert latency_of(opcode) == 9
+
+    def test_every_opcode_has_a_latency(self):
+        for opcode in Opcode:
+            assert latency_of(opcode) >= 1
+
+
+class TestFuClasses:
+    """Unit classes for fully specified machines."""
+
+    @pytest.mark.parametrize("opcode", [Opcode.LOAD, Opcode.STORE])
+    def test_memory_ops(self, opcode):
+        assert fu_class_of(opcode) is FuClass.MEMORY
+
+    @pytest.mark.parametrize(
+        "opcode", [Opcode.ALU, Opcode.SHIFT, Opcode.BRANCH]
+    )
+    def test_integer_ops(self, opcode):
+        assert fu_class_of(opcode) is FuClass.INTEGER
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.FP_ADD, Opcode.FP_MULT, Opcode.FP_DIV, Opcode.FP_SQRT],
+    )
+    def test_float_ops(self, opcode):
+        assert fu_class_of(opcode) is FuClass.FLOAT
+
+    def test_copy_needs_no_unit(self):
+        assert fu_class_of(Opcode.COPY) is FuClass.NONE
+
+
+class TestValueProduction:
+    """Stores and branches never produce register values."""
+
+    @pytest.mark.parametrize("opcode", [Opcode.STORE, Opcode.BRANCH])
+    def test_non_value_producing(self, opcode):
+        assert not produces_value(opcode)
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.ALU, Opcode.SHIFT, Opcode.LOAD, Opcode.FP_ADD,
+         Opcode.FP_MULT, Opcode.FP_DIV, Opcode.FP_SQRT, Opcode.COPY],
+    )
+    def test_value_producing(self, opcode):
+        assert produces_value(opcode)
+
+
+class TestOpcodeInfo:
+    """The bundled info record."""
+
+    def test_info_of_load(self):
+        info = OpcodeInfo.of(Opcode.LOAD)
+        assert info.latency == 2
+        assert info.fu_class is FuClass.MEMORY
+        assert info.produces_value
+
+    def test_all_opcode_info_covers_every_opcode(self):
+        infos = all_opcode_info()
+        assert {info.opcode for info in infos} == set(Opcode)
+
+    def test_info_is_frozen(self):
+        info = OpcodeInfo.of(Opcode.ALU)
+        with pytest.raises(AttributeError):
+            info.latency = 5

@@ -1,0 +1,105 @@
+"""The textual loop format."""
+
+import pytest
+
+from repro.ddg import Opcode, rec_mii
+from repro.ddg.parse import LoopParseError, format_loop, parse_loop
+
+LK5 = """
+# tridiagonal elimination
+ld_y: load
+ld_z: load
+sub:  fp_add  <- ld_y, mul@1
+mul:  fp_mult <- ld_z, sub
+st:   store   <- mul
+"""
+
+
+class TestParsing:
+    def test_basic_loop(self):
+        graph = parse_loop(LK5, name="lk5")
+        assert len(graph) == 5
+        assert graph.edge_count() == 5
+        assert graph.name == "lk5"
+
+    def test_opcodes_resolved(self):
+        graph = parse_loop(LK5)
+        opcodes = [node.opcode for node in graph.nodes]
+        assert opcodes == [
+            Opcode.LOAD, Opcode.LOAD, Opcode.FP_ADD, Opcode.FP_MULT,
+            Opcode.STORE,
+        ]
+
+    def test_loop_carried_distance(self):
+        graph = parse_loop(LK5)
+        carried = [e for e in graph.edges if e.distance > 0]
+        assert len(carried) == 1
+        assert carried[0].distance == 1
+        # mul feeds sub across the iteration: RecMII 1 + 3 = 4.
+        assert rec_mii(graph) == 4
+
+    def test_forward_references_allowed(self):
+        graph = parse_loop("a: alu <- b\nb: alu <- a@1\n")
+        assert graph.edge_count() == 2
+
+    def test_comments_and_blank_lines_ignored(self):
+        graph = parse_loop("\n# hi\na: alu  # trailing comment\n\n")
+        assert len(graph) == 1
+
+    def test_no_deps(self):
+        graph = parse_loop("a: load\nb: store <- a\n")
+        assert graph.edge_count() == 1
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(LoopParseError) as exc:
+            parse_loop("a: fmadd\n")
+        assert exc.value.line_number == 1
+
+    def test_duplicate_name(self):
+        with pytest.raises(LoopParseError) as exc:
+            parse_loop("a: alu\na: load\n")
+        assert exc.value.line_number == 2
+
+    def test_undefined_dependence(self):
+        with pytest.raises(LoopParseError):
+            parse_loop("a: alu <- ghost\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(LoopParseError) as exc:
+            parse_loop("a: alu\n???\n")
+        assert exc.value.line_number == 2
+
+    def test_bad_dep_token(self):
+        with pytest.raises(LoopParseError):
+            parse_loop("a: alu\nb: alu <- a@@2\n")
+
+
+class TestRoundTrip:
+    def test_format_then_parse_is_identity(self):
+        graph = parse_loop(LK5)
+        text = format_loop(graph)
+        again = parse_loop(text)
+        assert len(again) == len(graph)
+        assert [(n.name, n.opcode) for n in again.nodes] == [
+            (n.name, n.opcode) for n in graph.nodes
+        ]
+        assert sorted(
+            (e.src, e.dst, e.distance) for e in again.edges
+        ) == sorted((e.src, e.dst, e.distance) for e in graph.edges)
+
+    def test_kernels_round_trip(self):
+        from repro.workloads import all_kernels
+        for graph in all_kernels():
+            again = parse_loop(format_loop(graph), name=graph.name)
+            assert len(again) == len(graph)
+            assert rec_mii(again) == rec_mii(graph)
+
+    def test_duplicate_names_rejected_on_format(self):
+        from repro.ddg import Ddg
+        graph = Ddg()
+        graph.add_node(Opcode.ALU, name="x")
+        graph.add_node(Opcode.ALU, name="x")
+        with pytest.raises(ValueError):
+            format_loop(graph)

@@ -1,0 +1,96 @@
+"""SCC detection and criticality ordering."""
+
+import pytest
+
+from repro.ddg import Ddg, Opcode, find_sccs
+
+
+class TestDetection:
+    def test_intro_example_has_one_scc(self, intro_example):
+        partition = find_sccs(intro_example)
+        assert len(partition) == 1
+        b, c, d = intro_example.node_ids[1:4]
+        assert partition.sccs[0].nodes == {b, c, d}
+
+    def test_acyclic_graph_has_no_sccs(self, chain3):
+        assert len(find_sccs(chain3)) == 0
+
+    def test_self_loop_is_nontrivial_scc(self, accumulator):
+        partition = find_sccs(accumulator)
+        assert len(partition) == 1
+        assert len(partition.sccs[0]) == 1
+
+    def test_single_node_without_self_loop_is_trivial(self):
+        graph = Ddg()
+        graph.add_node(Opcode.ALU)
+        assert len(find_sccs(graph)) == 0
+
+    def test_two_disjoint_sccs(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        c = graph.add_node(Opcode.FP_MULT)
+        d = graph.add_node(Opcode.FP_ADD)
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=1)
+        graph.add_edge(c, d, distance=0)
+        graph.add_edge(d, c, distance=1)
+        partition = find_sccs(graph)
+        assert len(partition) == 2
+        assert partition.scc_node_count == 4
+
+
+class TestCriticalityOrdering:
+    def test_most_constraining_scc_first(self):
+        graph = Ddg()
+        # SCC 1: two ALUs, cycle latency 2 over distance 1 -> RecMII 2.
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=1)
+        # SCC 2: divide chain, RecMII 9 + 1 = 10.
+        c = graph.add_node(Opcode.FP_DIV)
+        d = graph.add_node(Opcode.FP_ADD)
+        graph.add_edge(c, d, distance=0)
+        graph.add_edge(d, c, distance=1)
+        partition = find_sccs(graph)
+        assert partition.sccs[0].nodes == {c, d}
+        assert partition.sccs[0].rec_mii == 10
+        assert partition.sccs[1].rec_mii == 2
+
+    def test_ties_broken_by_size(self):
+        graph = Ddg()
+        # Both SCCs have RecMII 1; the 3-node one should come first.
+        nodes3 = [graph.add_node(Opcode.ALU) for _ in range(3)]
+        graph.add_edge(nodes3[0], nodes3[1], distance=0)
+        graph.add_edge(nodes3[1], nodes3[2], distance=0)
+        graph.add_edge(nodes3[2], nodes3[0], distance=3)
+        solo = graph.add_node(Opcode.ALU)
+        graph.add_edge(solo, solo, distance=1)
+        partition = find_sccs(graph)
+        assert len(partition.sccs[0]) == 3
+        assert len(partition.sccs[1]) == 1
+
+    def test_indices_match_position(self, intro_example):
+        partition = find_sccs(intro_example)
+        for position, scc in enumerate(partition.sccs):
+            assert scc.index == position
+
+
+class TestMembership:
+    def test_scc_of_and_in_scc(self, intro_example):
+        partition = find_sccs(intro_example)
+        a, b = intro_example.node_ids[0], intro_example.node_ids[1]
+        assert partition.scc_of(a) is None
+        assert not partition.in_scc(a)
+        assert partition.scc_of(b) is partition.sccs[0]
+        assert partition.in_scc(b)
+
+    def test_contains_protocol(self, intro_example):
+        partition = find_sccs(intro_example)
+        b = intro_example.node_ids[1]
+        assert b in partition.sccs[0]
+
+    def test_iteration_yields_sccs(self, intro_example):
+        partition = find_sccs(intro_example)
+        assert list(partition) == partition.sccs

@@ -1,0 +1,151 @@
+"""The paper's preset machine configurations."""
+
+import pytest
+
+from repro.ddg.opcodes import FuClass
+from repro.machine import (
+    TABLE3_CONFIGS,
+    bused_machine,
+    four_cluster_fs,
+    four_cluster_gp,
+    four_cluster_grid,
+    gp_units,
+    n_cluster_gp,
+    two_cluster_fs,
+    two_cluster_gp,
+    unified_fs,
+    unified_gp,
+)
+from repro.machine.interconnect import (
+    BusInterconnect,
+    PointToPointInterconnect,
+)
+
+
+class TestBusedPresets:
+    def test_two_cluster_gp_defaults(self):
+        machine = two_cluster_gp()
+        assert machine.n_clusters == 2
+        assert machine.clusters[0].width == 4
+        assert machine.interconnect.bus_count == 2
+        assert machine.clusters[0].read_ports == 1
+        assert machine.clusters[0].write_ports == 1
+
+    def test_four_cluster_gp_defaults(self):
+        machine = four_cluster_gp()
+        assert machine.n_clusters == 4
+        assert machine.interconnect.bus_count == 4
+        assert machine.clusters[0].read_ports == 2
+
+    def test_bus_and_port_overrides(self):
+        machine = two_cluster_gp(buses=4, ports=2)
+        assert machine.interconnect.bus_count == 4
+        assert machine.clusters[1].read_ports == 2
+
+    def test_fs_presets_use_paper_mix(self):
+        for machine in (two_cluster_fs(), four_cluster_fs()):
+            cluster = machine.clusters[0]
+            assert cluster.issue_capacity(FuClass.MEMORY) == 1
+            assert cluster.issue_capacity(FuClass.INTEGER) == 2
+            assert cluster.issue_capacity(FuClass.FLOAT) == 1
+
+    def test_n_cluster_gp_scales(self):
+        machine = n_cluster_gp(8, buses=7, ports=3)
+        assert machine.n_clusters == 8
+        assert machine.total_width == 32
+        assert machine.interconnect.bus_count == 7
+
+    def test_single_cluster_bused_rejected(self):
+        with pytest.raises(ValueError):
+            bused_machine(1, gp_units(4), buses=1, ports=1)
+
+
+class TestGridPreset:
+    def test_grid_shape(self):
+        machine = four_cluster_grid()
+        assert machine.n_clusters == 4
+        assert isinstance(machine.interconnect, PointToPointInterconnect)
+        assert machine.clusters[0].width == 3
+
+    def test_grid_links_are_the_square(self):
+        machine = four_cluster_grid()
+        assert set(machine.interconnect.links) == {
+            (0, 1), (0, 2), (1, 3), (2, 3),
+        }
+
+    def test_grid_has_no_broadcast(self):
+        assert not four_cluster_grid().interconnect.broadcast
+
+
+class TestUnifiedPresets:
+    def test_unified_gp(self):
+        machine = unified_gp(16)
+        assert machine.is_unified
+        assert machine.total_width == 16
+
+    def test_unified_fs(self):
+        machine = unified_fs(memory=4, integer=8, floating=4)
+        assert machine.issue_capacity(FuClass.INTEGER) == 8
+
+
+class TestTable3Configs:
+    def test_paper_sweet_spots(self):
+        assert TABLE3_CONFIGS == [(2, 2, 1), (4, 4, 2), (6, 6, 3), (8, 7, 3)]
+
+    def test_all_configs_buildable(self):
+        for clusters, buses, ports in TABLE3_CONFIGS:
+            machine = n_cluster_gp(clusters, buses, ports)
+            assert machine.n_clusters == clusters
+            assert isinstance(machine.interconnect, BusInterconnect)
+
+
+class TestHeterogeneousPreset:
+    def test_widths_respected(self):
+        from repro.machine import heterogeneous_gp
+        machine = heterogeneous_gp([6, 2], buses=2, ports=1)
+        assert machine.clusters[0].width == 6
+        assert machine.clusters[1].width == 2
+        assert machine.total_width == 8
+
+    def test_unified_equivalent_merges(self):
+        from repro.machine import heterogeneous_gp
+        machine = heterogeneous_gp([6, 2], buses=2, ports=1)
+        assert machine.unified_equivalent().total_width == 8
+
+    def test_single_cluster_rejected(self):
+        from repro.machine import heterogeneous_gp
+        with pytest.raises(ValueError):
+            heterogeneous_gp([8], buses=1, ports=1)
+
+    def test_compiles_loops(self):
+        from repro.core import compile_loop
+        from repro.machine import heterogeneous_gp
+        from repro.workloads import build_kernel
+        machine = heterogeneous_gp([5, 3], buses=2, ports=1)
+        result = compile_loop(
+            build_kernel("lk7_equation_of_state"), machine, verify=True
+        )
+        assert result.ii >= 1
+
+
+class TestRingPreset:
+    def test_ring_links(self):
+        from repro.machine import ring_machine
+        from repro.machine.units import PAPER_GRID_MIX
+        machine = ring_machine(5, PAPER_GRID_MIX)
+        assert set(machine.interconnect.links) == {
+            (0, 1), (1, 2), (2, 3), (3, 4), (0, 4),
+        }
+
+    def test_ring_diameter_routing(self):
+        from repro.machine import ring_machine
+        from repro.machine.units import PAPER_GRID_MIX
+        machine = ring_machine(6, PAPER_GRID_MIX)
+        # Opposite clusters are 3 hops apart.
+        assert machine.interconnect.hop_distance(0, 3) == 3
+
+    def test_too_small_ring_rejected(self):
+        from repro.machine import ring_machine
+        from repro.machine.units import PAPER_GRID_MIX
+        with pytest.raises(ValueError):
+            ring_machine(2, PAPER_GRID_MIX)

@@ -1,0 +1,78 @@
+"""Function-unit mixes."""
+
+import pytest
+
+from repro.ddg.opcodes import FuClass
+from repro.machine import UnitMix, fs_units, gp_units
+from repro.machine.units import PAPER_FS_MIX, PAPER_GP_MIX, PAPER_GRID_MIX
+
+
+class TestGpMix:
+    def test_width_and_capacity(self):
+        mix = gp_units(4)
+        assert mix.general_purpose
+        assert mix.width == 4
+        for fu_class in (FuClass.MEMORY, FuClass.INTEGER, FuClass.FLOAT):
+            assert mix.capacity(fu_class) == 4
+
+    def test_copy_class_has_no_capacity(self):
+        assert gp_units(4).capacity(FuClass.NONE) == 0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            gp_units(0)
+
+
+class TestFsMix:
+    def test_per_class_capacity(self):
+        mix = fs_units(memory=1, integer=2, floating=1)
+        assert not mix.general_purpose
+        assert mix.width == 4
+        assert mix.capacity(FuClass.MEMORY) == 1
+        assert mix.capacity(FuClass.INTEGER) == 2
+        assert mix.capacity(FuClass.FLOAT) == 1
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            fs_units(0, 0, 0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            fs_units(-1, 2, 1)
+
+    def test_mixed_gp_and_fs_rejected(self):
+        with pytest.raises(ValueError):
+            UnitMix(gp_width=2, per_class={FuClass.MEMORY: 1})
+
+
+class TestMerging:
+    def test_gp_merge_adds_widths(self):
+        merged = gp_units(4).merged_with(gp_units(4))
+        assert merged.width == 8
+
+    def test_fs_merge_adds_per_class(self):
+        merged = PAPER_FS_MIX.merged_with(PAPER_FS_MIX)
+        assert merged.capacity(FuClass.MEMORY) == 2
+        assert merged.capacity(FuClass.INTEGER) == 4
+        assert merged.capacity(FuClass.FLOAT) == 2
+
+    def test_cross_discipline_merge_rejected(self):
+        with pytest.raises(ValueError):
+            gp_units(4).merged_with(PAPER_FS_MIX)
+
+
+class TestPaperMixes:
+    def test_paper_gp_cluster_is_four_wide(self):
+        assert PAPER_GP_MIX.width == 4
+
+    def test_paper_fs_cluster_shape(self):
+        # 1 memory, 2 integer, 1 float (Section 2.1).
+        assert PAPER_FS_MIX.capacity(FuClass.MEMORY) == 1
+        assert PAPER_FS_MIX.capacity(FuClass.INTEGER) == 2
+        assert PAPER_FS_MIX.capacity(FuClass.FLOAT) == 1
+
+    def test_paper_grid_cluster_shape(self):
+        # 1 of each class (three units per grid cluster).
+        assert PAPER_GRID_MIX.width == 3
+        for fu_class in (FuClass.MEMORY, FuClass.INTEGER, FuClass.FLOAT):
+            assert PAPER_GRID_MIX.capacity(fu_class) == 1

@@ -1,0 +1,95 @@
+"""Time-indexed modulo reservation table (scheduling-phase MRT)."""
+
+import pytest
+
+from repro.mrt import ModuloReservationTable
+from repro.machine import two_cluster_gp, unified_gp
+
+
+@pytest.fixture
+def mrt(uni8):
+    """MRT of the unified 8-wide machine at II = 4."""
+    return ModuloReservationTable(uni8, ii=4)
+
+
+ISSUE = ("issue", 0, "gp")
+
+
+class TestPlacement:
+    def test_place_and_query(self, mrt):
+        mrt.place("op1", [ISSUE], cycle=2)
+        assert mrt.is_placed("op1")
+        assert "op1" in mrt.placed_ops()
+
+    def test_row_wraps_modulo_ii(self, mrt):
+        assert mrt.row(0) == 0
+        assert mrt.row(4) == 0
+        assert mrt.row(7) == 3
+
+    def test_cycles_congruent_mod_ii_share_rows(self, mrt):
+        for i in range(8):
+            mrt.place(f"op{i}", [ISSUE], cycle=1)  # row 1 holds 8 slots
+        assert not mrt.available([ISSUE], 1)
+        assert not mrt.available([ISSUE], 5)  # same row
+        assert mrt.available([ISSUE], 2)
+
+    def test_double_place_rejected(self, mrt):
+        mrt.place("op1", [ISSUE], cycle=0)
+        with pytest.raises(ValueError):
+            mrt.place("op1", [ISSUE], cycle=1)
+
+    def test_place_when_full_raises(self, mrt):
+        for i in range(8):
+            mrt.place(f"op{i}", [ISSUE], cycle=0)
+        with pytest.raises(RuntimeError):
+            mrt.place("late", [ISSUE], cycle=0)
+
+    def test_unknown_key_raises(self, mrt):
+        with pytest.raises(KeyError):
+            mrt.available([("nope",)], 0)
+
+    def test_ii_must_be_positive(self, uni8):
+        with pytest.raises(ValueError):
+            ModuloReservationTable(uni8, ii=0)
+
+
+class TestRemoval:
+    def test_remove_frees_slots(self, mrt):
+        mrt.place("op1", [ISSUE], cycle=3)
+        mrt.remove("op1")
+        assert not mrt.is_placed("op1")
+        assert mrt.available([ISSUE] * 8, 3)
+
+    def test_remove_unplaced_raises(self, mrt):
+        with pytest.raises(ValueError):
+            mrt.remove("ghost")
+
+
+class TestConflicts:
+    def test_conflicting_ops_in_saturated_row(self, mrt):
+        for i in range(8):
+            mrt.place(f"op{i}", [ISSUE], cycle=1)
+        conflicts = mrt.conflicting_ops([ISSUE], 5)  # row 1
+        assert conflicts == {f"op{i}" for i in range(8)}
+
+    def test_no_conflicts_when_room_remains(self, mrt):
+        mrt.place("op0", [ISSUE], cycle=0)
+        assert mrt.conflicting_ops([ISSUE], 0) == set()
+
+    def test_multi_resource_conflicts(self):
+        machine = two_cluster_gp()  # 1 rd port per cluster
+        mrt = ModuloReservationTable(machine, ii=2)
+        copy_keys = [("rd", 0), ("wr", 1), "bus"]
+        mrt.place("cp0", copy_keys, cycle=0)
+        conflicts = mrt.conflicting_ops(copy_keys, 0)
+        assert conflicts == {"cp0"}
+        # Other row is free.
+        assert mrt.available(copy_keys, 1)
+
+
+class TestUtilization:
+    def test_utilization_fractions(self, mrt):
+        mrt.place("op0", [ISSUE], cycle=0)
+        mrt.place("op1", [ISSUE], cycle=1)
+        # 2 used of 8 units x 4 rows = 32 slots.
+        assert mrt.utilization()[ISSUE] == pytest.approx(2 / 32)

@@ -1,0 +1,98 @@
+"""Property-based tests for backend invariants: code expansion,
+parse round-trips, register allocation validity."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import expand_pipeline
+from repro.core import compile_loop
+from repro.ddg import rec_mii
+from repro.ddg.parse import format_loop, parse_loop
+from repro.machine import two_cluster_gp, unified_gp
+from repro.regalloc import allocate_mve, verify_allocation
+from repro.workloads import GeneratorProfile, generate_loop, unroll_ddg
+
+
+@st.composite
+def random_loop(draw):
+    seed = draw(st.integers(min_value=0, max_value=60_000))
+    rng = random.Random(seed)
+    return generate_loop(rng, GeneratorProfile())
+
+
+class TestCodegenProperties:
+    @given(random_loop())
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_factor_law(self, loop):
+        result = compile_loop(loop, two_cluster_gp())
+        code = expand_pipeline(result.schedule)
+        n_ops = len(result.annotated.ddg)
+        assert code.static_instruction_count == (
+            result.schedule.stage_count * n_ops
+        )
+
+    @given(random_loop())
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_is_complete_and_region_lengths_match(self, loop):
+        result = compile_loop(loop, two_cluster_gp())
+        code = expand_pipeline(result.schedule)
+        kernel_ops = sorted(
+            e.node_id for cycle in code.kernel for e in cycle
+        )
+        assert kernel_ops == sorted(result.annotated.ddg.node_ids)
+        assert code.prologue_cycles == code.epilogue_cycles
+
+
+class TestParseProperties:
+    @given(random_loop())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_structure(self, loop):
+        again = parse_loop(format_loop(loop), name=loop.name)
+        assert len(again) == len(loop)
+        assert again.edge_count() == loop.edge_count()
+        assert rec_mii(again) == rec_mii(loop)
+
+
+class TestRegallocProperties:
+    @given(random_loop())
+    @settings(max_examples=25, deadline=None)
+    def test_allocations_always_verify(self, loop):
+        result = compile_loop(loop, two_cluster_gp())
+        allocation = allocate_mve(result.schedule)
+        assert verify_allocation(allocation) == []
+
+
+class TestUnrollProperties:
+    @given(random_loop(), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_unroll_scales_counts_and_recmii_bound(self, loop, factor):
+        unrolled = unroll_ddg(loop, factor)
+        assert len(unrolled) == factor * len(loop)
+        assert unrolled.edge_count() == factor * loop.edge_count()
+        # Unrolled RecMII is per unrolled iteration: at most k times the
+        # original (equality when the critical ratio is integral).
+        assert rec_mii(unrolled) <= factor * rec_mii(loop)
+
+
+class TestStageSchedulingProperties:
+    @given(random_loop())
+    @settings(max_examples=25, deadline=None)
+    def test_lifetime_never_increases(self, loop):
+        from repro.scheduling import stage_schedule
+        result = compile_loop(loop, two_cluster_gp())
+        staged = stage_schedule(result.schedule)
+        assert staged.lifetime_after <= staged.lifetime_before
+
+    @given(random_loop())
+    @settings(max_examples=25, deadline=None)
+    def test_rows_and_validity_preserved(self, loop):
+        from repro.scheduling import assert_valid, stage_schedule
+        result = compile_loop(loop, two_cluster_gp())
+        staged = stage_schedule(result.schedule)
+        assert_valid(staged.schedule)
+        for node_id in result.schedule.start:
+            assert staged.schedule.row(node_id) == (
+                result.schedule.row(node_id)
+            )

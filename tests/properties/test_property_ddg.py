@@ -1,0 +1,102 @@
+"""Property-based tests on DDG invariants (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ddg import Ddg, Opcode, find_sccs, mii, rec_mii, res_mii
+from repro.machine import unified_gp
+from repro.workloads import GeneratorProfile, generate_loop
+
+VALUE_OPS = [
+    Opcode.ALU, Opcode.SHIFT, Opcode.LOAD, Opcode.FP_ADD,
+    Opcode.FP_MULT, Opcode.FP_DIV,
+]
+
+
+@st.composite
+def random_ddg(draw):
+    """A random loop DDG: forward DAG edges plus distance >=1 back edges."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    graph = Ddg(name="prop")
+    ops = [
+        draw(st.sampled_from(VALUE_OPS)) for _ in range(n)
+    ]
+    for opcode in ops:
+        graph.add_node(opcode)
+    n_forward = draw(st.integers(min_value=1, max_value=2 * n))
+    for _ in range(n_forward):
+        dst = draw(st.integers(min_value=1, max_value=n - 1))
+        src = draw(st.integers(min_value=0, max_value=dst - 1))
+        graph.add_edge(src, dst, distance=0)
+    n_back = draw(st.integers(min_value=0, max_value=max(1, n // 4)))
+    for _ in range(n_back):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        graph.add_edge(src, dst, distance=draw(
+            st.integers(min_value=1, max_value=3)))
+    return graph
+
+
+@st.composite
+def generated_loop(draw):
+    """A loop from the calibrated synthetic generator."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    return generate_loop(rng, GeneratorProfile())
+
+
+class TestRecMiiProperties:
+    @given(random_ddg())
+    @settings(max_examples=60, deadline=None)
+    def test_rec_mii_bounded_by_total_latency(self, graph):
+        bound = rec_mii(graph)
+        assert 0 <= bound <= graph.total_latency()
+
+    @given(random_ddg())
+    @settings(max_examples=60, deadline=None)
+    def test_rec_mii_is_max_over_sccs(self, graph):
+        partition = find_sccs(graph)
+        per_scc = max((scc.rec_mii for scc in partition), default=0)
+        assert rec_mii(graph) == per_scc
+
+    @given(random_ddg(), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_res_mii_antitone_in_width(self, graph, width):
+        narrow = res_mii(graph, unified_gp(width))
+        wide = res_mii(graph, unified_gp(width + 4))
+        assert wide <= narrow
+
+    @given(random_ddg())
+    @settings(max_examples=40, deadline=None)
+    def test_mii_dominates_both_bounds(self, graph):
+        machine = unified_gp(4)
+        value = mii(graph, machine)
+        assert value >= rec_mii(graph)
+        assert value >= res_mii(graph, machine)
+
+
+class TestSccProperties:
+    @given(random_ddg())
+    @settings(max_examples=60, deadline=None)
+    def test_sccs_are_disjoint(self, graph):
+        partition = find_sccs(graph)
+        seen = set()
+        for scc in partition:
+            assert not (scc.nodes & seen)
+            seen |= scc.nodes
+
+    @given(random_ddg())
+    @settings(max_examples=60, deadline=None)
+    def test_criticality_monotone(self, graph):
+        partition = find_sccs(graph)
+        rec_miis = [scc.rec_mii for scc in partition]
+        assert rec_miis == sorted(rec_miis, reverse=True)
+
+    @given(generated_loop())
+    @settings(max_examples=40, deadline=None)
+    def test_generated_loops_have_valid_sccs(self, graph):
+        partition = find_sccs(graph)
+        for scc in partition:
+            assert scc.rec_mii >= 1

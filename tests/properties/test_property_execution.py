@@ -1,0 +1,59 @@
+"""Property: every compiled schedule executes bit-identically to the
+sequential reference on the simulated clustered hardware."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ALL_VARIANTS, compile_loop
+from repro.machine import (
+    four_cluster_fs,
+    four_cluster_grid,
+    two_cluster_gp,
+)
+from repro.scheduling import stage_schedule
+from repro.sim import simulate_schedule
+from repro.workloads import GeneratorProfile, generate_loop
+
+MACHINES = [two_cluster_gp(), four_cluster_fs(), four_cluster_grid()]
+
+
+@st.composite
+def loop_machine_iters(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    machine = draw(st.sampled_from(MACHINES))
+    iterations = draw(st.integers(min_value=1, max_value=8))
+    rng = random.Random(seed)
+    return generate_loop(rng, GeneratorProfile()), machine, iterations
+
+
+class TestExecutionEquivalence:
+    @given(loop_machine_iters())
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_schedules_execute_correctly(self, case):
+        ddg, machine, iterations = case
+        result = compile_loop(ddg, machine)
+        report = simulate_schedule(ddg, result.schedule, iterations)
+        assert report.ok, report.violations[:3]
+
+    @given(loop_machine_iters())
+    @settings(max_examples=25, deadline=None)
+    def test_stage_scheduled_schedules_execute_correctly(self, case):
+        """Stage scheduling must preserve executable semantics."""
+        ddg, machine, iterations = case
+        result = compile_loop(ddg, machine)
+        staged = stage_schedule(result.schedule)
+        report = simulate_schedule(ddg, staged.schedule, iterations)
+        assert report.ok, report.violations[:3]
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_all_variants_execute_correctly(self, seed):
+        rng = random.Random(seed)
+        ddg = generate_loop(rng, GeneratorProfile())
+        machine = two_cluster_gp()
+        for config in ALL_VARIANTS:
+            result = compile_loop(ddg, machine, config=config)
+            report = simulate_schedule(ddg, result.schedule, 4)
+            assert report.ok, (config.name, report.violations[:3])

@@ -1,0 +1,96 @@
+"""MVE register allocation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.registers import mve_unroll_factor, register_pressure
+from repro.core import compile_loop
+from repro.machine import (
+    four_cluster_fs,
+    two_cluster_gp,
+    unified_gp,
+)
+from repro.regalloc import allocate_mve, verify_allocation
+from repro.workloads import (
+    GeneratorProfile,
+    all_kernels,
+    build_kernel,
+    generate_loop,
+)
+
+
+class TestAllocation:
+    def test_allocation_verifies_for_all_kernels(self, two_gp):
+        for loop in all_kernels():
+            result = compile_loop(loop, two_gp)
+            allocation = allocate_mve(result.schedule)
+            assert verify_allocation(allocation) == [], loop.name
+
+    def test_unroll_matches_analysis(self, two_gp):
+        for name in ("lk1_hydro", "lk7_equation_of_state", "daxpy"):
+            result = compile_loop(build_kernel(name), two_gp)
+            allocation = allocate_mve(result.schedule)
+            assert allocation.unroll == mve_unroll_factor(result.schedule)
+
+    def test_registers_at_least_maxlive(self, two_gp):
+        """MaxLive is a lower bound for any valid allocation."""
+        for name in ("lk7_equation_of_state", "butterfly_fft", "daxpy"):
+            result = compile_loop(build_kernel(name), two_gp)
+            allocation = allocate_mve(result.schedule)
+            pressure = register_pressure(result.schedule)
+            for cluster, need in pressure.per_cluster.items():
+                assert allocation.registers(cluster) >= need
+
+    def test_first_fit_is_not_wasteful(self, two_gp):
+        """First-fit-decreasing should land near the MaxLive bound."""
+        total_alloc = total_bound = 0
+        for loop in all_kernels():
+            result = compile_loop(loop, two_gp)
+            allocation = allocate_mve(result.schedule)
+            pressure = register_pressure(result.schedule)
+            total_alloc += allocation.total_registers
+            total_bound += pressure.total_max_live
+        assert total_alloc <= 1.5 * total_bound + len(all_kernels())
+
+    def test_assignments_cover_every_instance(self, two_gp):
+        result = compile_loop(build_kernel("lk5_tridiag"), two_gp)
+        allocation = allocate_mve(result.schedule)
+        from repro.regalloc import extract_lifetimes
+        lifetimes = extract_lifetimes(result.schedule)
+        assert len(allocation.assignments) == (
+            len(lifetimes) * allocation.unroll
+        )
+
+    def test_span(self, two_gp):
+        result = compile_loop(build_kernel("daxpy"), two_gp)
+        allocation = allocate_mve(result.schedule)
+        assert allocation.span == allocation.unroll * result.ii
+
+
+class TestAllocationProperty:
+    @given(st.integers(min_value=0, max_value=30_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_loops_allocate_validly(self, seed):
+        rng = random.Random(seed)
+        loop = generate_loop(rng, GeneratorProfile())
+        for machine in (two_cluster_gp(), four_cluster_fs()):
+            result = compile_loop(loop, machine)
+            allocation = allocate_mve(result.schedule)
+            assert verify_allocation(allocation) == []
+
+    @given(st.integers(min_value=0, max_value=30_000))
+    @settings(max_examples=20, deadline=None)
+    def test_registers_bounded_by_values(self, seed):
+        rng = random.Random(seed)
+        loop = generate_loop(rng, GeneratorProfile())
+        result = compile_loop(loop, unified_gp(8))
+        allocation = allocate_mve(result.schedule)
+        from repro.regalloc import extract_lifetimes
+        n_lifetimes = len(extract_lifetimes(result.schedule))
+        # Worst case one register per lifetime instance.
+        assert allocation.total_registers <= max(
+            1, n_lifetimes * allocation.unroll
+        )

@@ -1,0 +1,104 @@
+"""Rotating register file allocation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.registers import register_pressure
+from repro.core import compile_loop
+from repro.machine import four_cluster_fs, two_cluster_gp, unified_gp
+from repro.regalloc import (
+    allocate_mve,
+    allocate_rotating,
+    verify_rotating,
+)
+from repro.regalloc.rotating import _arc_cycles, _try_pack
+from repro.regalloc.lifetimes import Lifetime
+from repro.workloads import (
+    GeneratorProfile,
+    all_kernels,
+    build_kernel,
+    generate_loop,
+)
+
+
+class TestArcPrimitives:
+    def test_arc_wraps_circle(self):
+        assert _arc_cycles(4, 3, 6) == [4, 5, 0]
+
+    def test_zero_length_occupies_birth_cycle(self):
+        assert _arc_cycles(2, 0, 6) == [2]
+
+    def test_pack_rejects_self_lapping_arc(self):
+        long_value = Lifetime(producer=0, cluster=0, birth=0, death=10)
+        assert _try_pack([long_value], ii=2, file_size=3) is None
+        assert _try_pack([long_value], ii=2, file_size=6) is not None
+
+
+class TestAllocation:
+    def test_all_kernels_verify(self, two_gp):
+        for loop in all_kernels():
+            result = compile_loop(loop, two_gp)
+            allocation = allocate_rotating(result.schedule)
+            assert verify_rotating(allocation) == [], loop.name
+
+    def test_rotating_needs_no_unrolling_where_mve_does(self, two_gp):
+        """The rotating file's raison d'etre: lk7's lifetimes span up to
+        6 iterations — MVE must unroll 6x, rotating renames for free."""
+        result = compile_loop(
+            build_kernel("lk7_equation_of_state"), two_gp
+        )
+        mve = allocate_mve(result.schedule)
+        rotating = allocate_rotating(result.schedule)
+        assert mve.unroll > 1
+        assert verify_rotating(rotating) == []
+        assert rotating.total_registers <= mve.total_registers
+
+    def test_matches_maxlive_on_kernel_library(self, two_gp):
+        """First-fit circular-arc packing lands on (or near) the MaxLive
+        lower bound."""
+        for loop in all_kernels()[:15]:
+            result = compile_loop(loop, two_gp)
+            rotating = allocate_rotating(result.schedule)
+            live = register_pressure(result.schedule)
+            for cluster, need in live.per_cluster.items():
+                assert rotating.file_size(cluster) >= need
+                assert rotating.file_size(cluster) <= need + 3
+
+    def test_assignments_cover_every_lifetime(self, two_gp):
+        from repro.regalloc import extract_lifetimes
+        result = compile_loop(build_kernel("butterfly_fft"), two_gp)
+        allocation = allocate_rotating(result.schedule)
+        assert len(allocation.assignments) == len(
+            extract_lifetimes(result.schedule)
+        )
+
+    def test_file_size_cap_raises(self, two_gp):
+        result = compile_loop(build_kernel("lk1_hydro"), two_gp)
+        with pytest.raises(RuntimeError):
+            allocate_rotating(result.schedule, max_file_size=1)
+
+
+class TestRotatingProperties:
+    @given(st.integers(min_value=0, max_value=30_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_loops_allocate_validly(self, seed):
+        rng = random.Random(seed)
+        loop = generate_loop(rng, GeneratorProfile())
+        for machine in (two_cluster_gp(), four_cluster_fs()):
+            result = compile_loop(loop, machine)
+            allocation = allocate_rotating(result.schedule)
+            assert verify_rotating(allocation) == []
+
+    @given(st.integers(min_value=0, max_value=30_000))
+    @settings(max_examples=20, deadline=None)
+    def test_file_size_at_least_maxlive(self, seed):
+        rng = random.Random(seed)
+        loop = generate_loop(rng, GeneratorProfile())
+        result = compile_loop(loop, unified_gp(8))
+        allocation = allocate_rotating(result.schedule)
+        live = register_pressure(result.schedule)
+        for cluster, need in live.per_cluster.items():
+            assert allocation.file_size(cluster) >= need

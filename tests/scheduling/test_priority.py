@@ -1,0 +1,73 @@
+"""ASAP/ALAP/height/mobility metrics."""
+
+import pytest
+
+from repro.ddg import Ddg, Opcode
+from repro.scheduling import PriorityDivergenceError, compute_metrics
+
+
+class TestChainMetrics:
+    def test_asap_accumulates_latencies(self, chain3):
+        metrics = compute_metrics(chain3, ii=1)
+        ld, mul, st = chain3.node_ids
+        assert metrics.asap[ld] == 0
+        assert metrics.asap[mul] == 2  # after the 2-cycle load
+        assert metrics.asap[st] == 5  # after the 3-cycle multiply
+
+    def test_height_counts_downstream_chain(self, chain3):
+        metrics = compute_metrics(chain3, ii=1)
+        ld, mul, st = chain3.node_ids
+        assert metrics.height[st] == 1
+        assert metrics.height[mul] == 4
+        assert metrics.height[ld] == 6
+
+    def test_critical_path(self, chain3):
+        metrics = compute_metrics(chain3, ii=1)
+        assert metrics.critical_path == 6
+
+    def test_alap_consistent_with_asap(self, chain3):
+        metrics = compute_metrics(chain3, ii=1)
+        for node_id in chain3.node_ids:
+            assert metrics.alap[node_id] >= metrics.asap[node_id]
+
+    def test_chain_has_zero_mobility(self, chain3):
+        metrics = compute_metrics(chain3, ii=1)
+        for node_id in chain3.node_ids:
+            assert metrics.mobility(node_id) == 0
+
+
+class TestMobility:
+    def test_off_critical_path_node_has_slack(self):
+        graph = Ddg()
+        src = graph.add_node(Opcode.ALU)
+        slow = graph.add_node(Opcode.FP_DIV)  # 9 cycles
+        fast = graph.add_node(Opcode.ALU)  # 1 cycle
+        sink = graph.add_node(Opcode.FP_ADD)
+        graph.add_edge(src, slow, distance=0)
+        graph.add_edge(src, fast, distance=0)
+        graph.add_edge(slow, sink, distance=0)
+        graph.add_edge(fast, sink, distance=0)
+        metrics = compute_metrics(graph, ii=1)
+        assert metrics.mobility(fast) == 8
+        assert metrics.mobility(slow) == 0
+
+
+class TestRecurrences:
+    def test_loop_carried_edges_relax_at_feasible_ii(self, intro_example):
+        metrics = compute_metrics(intro_example, ii=4)  # RecMII = 4
+        # The recurrence closes exactly: no divergence, finite values.
+        assert all(v >= 0 for v in metrics.asap.values())
+
+    def test_divergence_below_recmii(self, intro_example):
+        with pytest.raises(PriorityDivergenceError):
+            compute_metrics(intro_example, ii=3)
+
+    def test_depth_alias(self, chain3):
+        metrics = compute_metrics(chain3, ii=1)
+        for node_id in chain3.node_ids:
+            assert metrics.depth(node_id) == metrics.asap[node_id]
+
+    def test_empty_graph(self):
+        metrics = compute_metrics(Ddg(), ii=1)
+        assert metrics.critical_path == 0
+        assert metrics.asap == {}

@@ -1,0 +1,59 @@
+"""Schedule record: rows, stages, formatting."""
+
+import pytest
+
+from repro.ddg import trivial_annotation
+from repro.machine import unified_gp
+from repro.scheduling import Schedule, modulo_schedule
+
+
+@pytest.fixture
+def chain_schedule(chain3, uni8):
+    schedule = modulo_schedule(trivial_annotation(chain3, uni8), ii=2)
+    assert schedule is not None
+    return schedule
+
+
+class TestGeometry:
+    def test_row_is_start_mod_ii(self, chain_schedule):
+        for node_id, start in chain_schedule.start.items():
+            assert chain_schedule.row(node_id) == start % 2
+
+    def test_stage_is_start_div_ii(self, chain_schedule):
+        for node_id, start in chain_schedule.start.items():
+            assert chain_schedule.stage(node_id) == start // 2
+
+    def test_stage_count_positive(self, chain_schedule):
+        assert chain_schedule.stage_count >= 1
+
+    def test_chain_pipeline_depth(self, chain3, uni8):
+        # ld(2) -> mul(3) -> st at II 1: starts 0, 2, 5 -> 6 stages.
+        schedule = modulo_schedule(trivial_annotation(chain3, uni8), ii=1)
+        assert schedule.stage_count == 6
+
+    def test_makespan(self, chain3, uni8):
+        schedule = modulo_schedule(trivial_annotation(chain3, uni8), ii=1)
+        assert schedule.makespan == 6  # 0 .. 5+1
+
+
+class TestKernelRows:
+    def test_every_op_in_exactly_one_row(self, chain_schedule):
+        rows = chain_schedule.kernel_rows()
+        flattened = [op for row in rows for op in row]
+        assert sorted(flattened) == sorted(chain_schedule.start)
+
+    def test_row_count_equals_ii(self, chain_schedule):
+        assert len(chain_schedule.kernel_rows()) == 2
+
+    def test_format_kernel_mentions_every_op(self, chain_schedule):
+        text = chain_schedule.format_kernel()
+        ddg = chain_schedule.annotated.ddg
+        for node in ddg.nodes:
+            assert node.name in text
+
+
+class TestValidation:
+    def test_incomplete_schedule_rejected(self, chain3, uni8):
+        annotated = trivial_annotation(chain3, uni8)
+        with pytest.raises(ValueError):
+            Schedule(annotated=annotated, ii=2, start={0: 0})

@@ -1,0 +1,80 @@
+"""Sequential reference interpreter."""
+
+import pytest
+
+from repro.ddg import Ddg, Opcode, build_ddg
+from repro.sim import reference_execute, value_inputs
+from repro.sim.values import combine, live_in
+
+
+class TestValueInputs:
+    def test_value_edges_only(self):
+        graph = build_ddg(
+            ops=[("st", Opcode.STORE), ("ld", Opcode.LOAD),
+                 ("add", Opcode.ALU)],
+            deps=[("st", "ld", 1), ("ld", "add", 0)],
+        )
+        ld, add = 1, 2
+        assert value_inputs(graph, ld) == []  # store edge carries no data
+        assert value_inputs(graph, add) == [(ld, 0)]
+
+    def test_input_order_is_edge_order(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        c = graph.add_node(Opcode.FP_ADD)
+        graph.add_edge(b, c, distance=0)
+        graph.add_edge(a, c, distance=0)
+        assert value_inputs(graph, c) == [(b, 0), (a, 0)]
+
+
+class TestReferenceExecute:
+    def test_chain_values_deterministic(self, chain3):
+        first = reference_execute(chain3, 4)
+        second = reference_execute(chain3, 4)
+        assert first == second
+
+    def test_all_nodes_all_iterations_present(self, intro_example):
+        values = reference_execute(intro_example, 3)
+        assert len(values) == 3 * len(intro_example)
+
+    def test_iterations_differ(self, chain3):
+        values = reference_execute(chain3, 2)
+        ld = chain3.node_ids[0]
+        assert values[(ld, 0)] != values[(ld, 1)]
+
+    def test_recurrence_threads_previous_iteration(self, accumulator):
+        ld, acc = accumulator.node_ids
+        values = reference_execute(accumulator, 3)
+        # acc at iteration 1 must depend on acc at iteration 0: recompute.
+        from repro.sim.reference import OPCODE_INDEX
+        expected = combine(
+            acc,
+            OPCODE_INDEX[accumulator.node(acc).opcode],
+            (values[(ld, 1)], values[(acc, 0)]),
+        )
+        assert values[(acc, 1)] == expected
+
+    def test_live_in_for_first_iteration(self, accumulator):
+        ld, acc = accumulator.node_ids
+        values = reference_execute(accumulator, 1)
+        from repro.sim.reference import OPCODE_INDEX
+        expected = combine(
+            acc,
+            OPCODE_INDEX[accumulator.node(acc).opcode],
+            (values[(ld, 0)], live_in(acc, -1)),
+        )
+        assert values[(acc, 0)] == expected
+
+    def test_zero_iterations_rejected(self, chain3):
+        with pytest.raises(ValueError):
+            reference_execute(chain3, 0)
+
+    def test_zero_distance_cycle_rejected(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=0)
+        with pytest.raises(ValueError):
+            reference_execute(graph, 1)

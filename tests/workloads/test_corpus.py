@@ -1,0 +1,66 @@
+"""Corpus serialization round trips."""
+
+import pytest
+
+from repro.ddg import rec_mii
+from repro.workloads import all_kernels, paper_suite
+from repro.workloads.corpus import (
+    dumps_corpus,
+    load_corpus,
+    loads_corpus,
+    save_corpus,
+)
+
+
+class TestRoundTrip:
+    def test_kernels_round_trip(self):
+        kernels = all_kernels()
+        again = loads_corpus(dumps_corpus(kernels))
+        assert len(again) == len(kernels)
+        for before, after in zip(kernels, again):
+            assert after.name == before.name
+            assert len(after) == len(before)
+            assert after.edge_count() == before.edge_count()
+            assert rec_mii(after) == rec_mii(before)
+
+    def test_suite_slice_round_trips(self):
+        suite = paper_suite(60)
+        again = loads_corpus(dumps_corpus(suite))
+        assert [g.name for g in again] == [g.name for g in suite]
+        for before, after in zip(suite, again):
+            assert sorted(
+                (e.src, e.dst, e.distance) for e in after.edges
+            ) == sorted((e.src, e.dst, e.distance) for e in before.edges)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "corpus.txt")
+        save_corpus(all_kernels()[:5], path)
+        loaded = load_corpus(path)
+        assert len(loaded) == 5
+
+
+class TestErrors:
+    def test_unnamed_loop_rejected(self):
+        from repro.ddg import Ddg, Opcode
+        graph = Ddg()  # no name
+        graph.add_node(Opcode.ALU, name="a")
+        with pytest.raises(ValueError):
+            dumps_corpus([graph])
+
+    def test_duplicate_names_rejected_on_dump(self):
+        kernel = all_kernels()[0]
+        with pytest.raises(ValueError):
+            dumps_corpus([kernel, kernel])
+
+    def test_duplicate_names_rejected_on_load(self):
+        text = "== a ==\nx: alu\n== a ==\ny: alu\n"
+        with pytest.raises(ValueError):
+            loads_corpus(text)
+
+    def test_empty_corpus(self):
+        assert loads_corpus("") == []
+
+    def test_preamble_ignored(self):
+        text = "# a comment before any loop\n\n== a ==\nx: alu\n"
+        loops = loads_corpus(text)
+        assert len(loops) == 1

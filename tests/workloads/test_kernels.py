@@ -1,0 +1,62 @@
+"""Hand-written kernel DDGs: documented RecMII ground truth."""
+
+import pytest
+
+from repro.ddg import find_sccs, rec_mii
+from repro.workloads import all_kernels, build_kernel, kernel_names
+
+
+class TestRegistry:
+    def test_at_least_twenty_kernels(self):
+        assert len(kernel_names()) >= 20
+
+    def test_build_by_name(self):
+        graph = build_kernel("lk5_tridiag")
+        assert graph.name == "lk5_tridiag"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_kernel("nope")
+
+    def test_all_kernels_builds_everything(self):
+        kernels = all_kernels()
+        assert len(kernels) == len(kernel_names())
+        assert len({g.name for g in kernels}) == len(kernels)
+
+
+class TestGroundTruthRecMii:
+    """Each kernel's critical recurrence, as documented in its builder."""
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("lk1_hydro", 1),         # induction only
+            ("lk3_inner_product", 1),  # FP-add accumulator
+            ("lk5_tridiag", 4),       # add + mult carried chain
+            ("lk11_first_sum", 1),    # prefix-sum add
+            ("horner_poly", 4),       # mult + add carried chain
+            ("ema_filter", 4),        # mult + add carried chain
+            ("newton_division_step", 13),  # div(9) + mult(3) + add(1)
+            ("mandelbrot_step", 5),   # add + mult + add
+            ("pointer_chase_reduce", 3),   # load(2) + alu(1)
+            ("wavefront_sweep", 4),   # mult(3) + add(1) at distance 1
+            ("integer_checksum", 3),  # alu + shift + alu carried
+            ("lk12_first_difference", 1),  # induction only
+            ("fir_filter_4tap", 1),   # streaming
+            ("daxpy", 1),             # streaming
+        ],
+    )
+    def test_rec_mii(self, name, expected):
+        assert rec_mii(build_kernel(name)) == expected
+
+
+class TestShape:
+    def test_every_kernel_has_induction_and_edges(self):
+        for graph in all_kernels():
+            assert graph.edge_count() >= 2
+            assert len(find_sccs(graph)) >= 1  # at least the induction
+
+    def test_kernels_are_fresh_instances(self):
+        first = build_kernel("daxpy")
+        second = build_kernel("daxpy")
+        assert first is not second

@@ -1,0 +1,109 @@
+"""Synthetic loop generator: determinism, structure, calibration."""
+
+import random
+
+import pytest
+
+from repro.ddg import Opcode, find_sccs, rec_mii
+from repro.ddg.opcodes import produces_value
+from repro.workloads import GeneratorProfile, generate_loop, generate_suite
+from repro.workloads.synthetic import _fit_scc_plan
+
+
+class TestDeterminism:
+    def test_same_seed_same_suite(self):
+        first = generate_suite(25, seed=7)
+        second = generate_suite(25, seed=7)
+        for a, b in zip(first, second):
+            assert len(a) == len(b)
+            assert [n.opcode for n in a.nodes] == [n.opcode for n in b.nodes]
+            assert [(e.src, e.dst, e.distance) for e in a.edges] == [
+                (e.src, e.dst, e.distance) for e in b.edges
+            ]
+
+    def test_different_seeds_differ(self):
+        first = generate_suite(25, seed=1)
+        second = generate_suite(25, seed=2)
+        assert any(len(a) != len(b) for a, b in zip(first, second))
+
+
+class TestStructuralInvariants:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return generate_suite(200, seed=11)
+
+    def test_every_loop_has_an_edge(self, sample):
+        assert all(loop.edge_count() >= 1 for loop in sample)
+
+    def test_node_bounds(self, sample):
+        profile = GeneratorProfile()
+        for loop in sample:
+            assert profile.node_min <= len(loop) <= profile.node_max
+
+    def test_no_zero_distance_cycles(self, sample):
+        for loop in sample:
+            rec_mii(loop)  # raises on a malformed zero-distance cycle
+
+    def test_value_edges_come_from_value_producers(self, sample):
+        for loop in sample:
+            for edge in loop.edges:
+                src = loop.node(edge.src)
+                if not src.produces_value:
+                    # Memory ordering edges are always loop-carried here.
+                    assert edge.distance >= 1
+
+    def test_loads_and_stores_present(self, sample):
+        for loop in sample:
+            opcodes = {node.opcode for node in loop.nodes}
+            assert Opcode.LOAD in opcodes
+            if len(loop) >= 3:
+                assert Opcode.STORE in opcodes
+
+    def test_branch_has_no_dataflow_successors(self, sample):
+        for loop in sample:
+            for node in loop.nodes:
+                if node.opcode is Opcode.BRANCH:
+                    assert loop.successors(node.node_id) == []
+
+    def test_names_unique_within_suite(self, sample):
+        names = [loop.name for loop in sample]
+        assert len(set(names)) == len(names)
+
+
+class TestSccConstruction:
+    def test_requested_loops_get_sccs(self):
+        rng = random.Random(3)
+        profile = GeneratorProfile(scc_loop_fraction=1.0)
+        loops = [generate_loop(rng, profile, n_nodes=30) for _ in range(20)]
+        with_sccs = sum(1 for loop in loops if len(find_sccs(loop)) > 0)
+        assert with_sccs == 20
+
+    def test_zero_fraction_means_no_sccs(self):
+        rng = random.Random(3)
+        profile = GeneratorProfile(scc_loop_fraction=0.0)
+        loops = [generate_loop(rng, profile) for _ in range(30)]
+        assert all(len(find_sccs(loop)) == 0 for loop in loops)
+
+    def test_fit_plan_respects_capacity(self):
+        assert sum(_fit_scc_plan([10, 10, 10], 12)) <= 12
+        assert _fit_scc_plan([5], 4) == [4]
+        assert _fit_scc_plan([2, 2, 2], 3) == [2]
+        assert _fit_scc_plan([3], 1) == []
+
+    def test_fit_plan_keeps_chain_count_when_possible(self):
+        plan = _fit_scc_plan([6, 6], 8)
+        assert len(plan) == 2
+        assert all(length >= 2 for length in plan)
+
+
+class TestTinyLoops:
+    def test_two_node_loop(self):
+        rng = random.Random(0)
+        loop = generate_loop(rng, n_nodes=2)
+        assert len(loop) == 2
+        assert loop.edge_count() >= 1
+
+    def test_minimum_enforced(self):
+        rng = random.Random(0)
+        loop = generate_loop(rng, n_nodes=1)
+        assert len(loop) == 2

@@ -1,0 +1,106 @@
+"""DDG loop unrolling."""
+
+import pytest
+
+from repro.ddg import Opcode, rec_mii, res_mii
+from repro.machine import unified_gp
+from repro.workloads import all_kernels, build_kernel, unroll_ddg
+
+
+class TestStructure:
+    def test_counts_scale(self):
+        graph = build_kernel("daxpy")
+        unrolled = unroll_ddg(graph, 3)
+        assert len(unrolled) == 3 * len(graph)
+        assert unrolled.edge_count() == 3 * graph.edge_count()
+
+    def test_opcode_mix_scales(self):
+        graph = build_kernel("lk5_tridiag")
+        unrolled = unroll_ddg(graph, 2)
+        original = graph.op_histogram()
+        scaled = unrolled.op_histogram()
+        for opcode, count in original.items():
+            assert scaled[opcode] == 2 * count
+
+    def test_factor_one_is_copy(self):
+        graph = build_kernel("daxpy")
+        unrolled = unroll_ddg(graph, 1)
+        assert len(unrolled) == len(graph)
+        assert unrolled is not graph
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            unroll_ddg(build_kernel("daxpy"), 0)
+
+    def test_names_tagged_by_copy(self):
+        unrolled = unroll_ddg(build_kernel("daxpy"), 2)
+        names = {node.name for node in unrolled.nodes}
+        assert "mul.0" in names
+        assert "mul.1" in names
+
+
+class TestDistanceRewiring:
+    def test_intra_iteration_edges_stay_in_block(self):
+        graph = build_kernel("lk1_hydro")
+        k = 2
+        unrolled = unroll_ddg(graph, k)
+        # A distance-d edge yields, per copy j, distance (j+d)//k: the
+        # number of distance-0 edges is sum over edges of the copies
+        # with j + d < k.
+        expected = sum(
+            max(0, k - e.distance) for e in graph.edges
+        )
+        zero_edges = [e for e in unrolled.edges if e.distance == 0]
+        assert len(zero_edges) == expected
+
+    def test_distance_one_becomes_intra_block_link(self):
+        """A distance-1 edge connects copy j to copy j+1 with distance 0,
+        and the last copy wraps with distance 1."""
+        graph = build_kernel("lk11_first_sum")  # acc -> acc at distance 1
+        unrolled = unroll_ddg(graph, 3)
+        acc_edges = [
+            e for e in unrolled.edges
+            if unrolled.node(e.src).name.startswith("acc")
+            and unrolled.node(e.dst).name.startswith("acc")
+        ]
+        distances = sorted(e.distance for e in acc_edges)
+        assert distances == [0, 0, 1]
+
+    def test_distance_two_wraps_correctly(self):
+        from repro.ddg import Ddg
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU, name="a")
+        graph.add_edge(a, a, distance=2)
+        unrolled = unroll_ddg(graph, 3)
+        # Copies j -> (j+2) mod 3 with distance (j+2)//3.
+        edges = sorted(
+            (e.src, e.dst, e.distance) for e in unrolled.edges
+        )
+        assert edges == [(0, 2, 0), (1, 0, 1), (2, 1, 1)]
+
+
+class TestSemantics:
+    def test_rec_mii_scales_with_factor(self):
+        for name in ("lk5_tridiag", "horner_poly", "lk11_first_sum"):
+            graph = build_kernel(name)
+            base = rec_mii(graph)
+            for k in (2, 3):
+                unrolled = unroll_ddg(graph, k)
+                assert rec_mii(unrolled) == k * base, (name, k)
+
+    def test_res_mii_scales(self):
+        graph = build_kernel("lk7_equation_of_state")
+        machine = unified_gp(8)
+        assert res_mii(unroll_ddg(graph, 2), machine) >= (
+            2 * res_mii(graph, machine) - 1
+        )
+
+    def test_fractional_recurrence_benefits(self):
+        """A latency-3 cycle at distance 2 (ratio 1.5) costs RecMII 2 per
+        iteration but only 3 per 2 iterations once unrolled."""
+        from repro.ddg import Ddg
+        graph = Ddg()
+        a = graph.add_node(Opcode.FP_MULT)  # latency 3
+        graph.add_edge(a, a, distance=2)
+        assert rec_mii(graph) == 2
+        assert rec_mii(unroll_ddg(graph, 2)) == 3  # 1.5 per iteration
