@@ -1,0 +1,87 @@
+"""Tracing-overhead smoke benchmark.
+
+Compiles a 20-loop slice of the evaluation suite with tracing disabled
+and enabled, asserts the traced run stays within 10% of the untraced
+one (the disabled fast path must stay ~free, and even *enabled* tracing
+must remain cheap relative to compilation), and writes the comparison
+plus the traced run's full metrics dict to ``BENCH_trace_smoke.json``
+at the repository root — the machine-readable perf artifact of the
+observability layer.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/test_trace_smoke.py -q``
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.analysis import UnifiedBaseline, run_experiment
+from repro.machine import two_cluster_gp
+from repro.workloads import paper_suite
+
+from conftest import print_report
+
+SMOKE_LOOPS = 20
+ROUNDS = 3
+MAX_OVERHEAD = 0.10
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_trace_smoke.json"
+
+
+def _best_of(rounds: int, run) -> float:
+    """Min wall time over ``rounds`` runs (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_tracing_overhead_smoke():
+    loops = paper_suite(SMOKE_LOOPS)
+    machine = two_cluster_gp()
+
+    def run_untraced():
+        # A fresh baseline each round: identical work in both modes.
+        run_experiment(loops, machine, baseline=UnifiedBaseline())
+
+    trace = obs.Trace()
+
+    def run_traced():
+        with obs.tracing(trace):
+            run_experiment(loops, machine, baseline=UnifiedBaseline())
+
+    run_untraced()  # warm caches before timing either mode
+    untraced = _best_of(ROUNDS, run_untraced)
+    traced = _best_of(ROUNDS, run_traced)
+    overhead = traced / untraced - 1.0
+
+    metrics = obs.metrics_dict(trace)
+    artifact = {
+        "benchmark": "trace_smoke",
+        "loops": SMOKE_LOOPS,
+        "machine": machine.name,
+        "rounds": ROUNDS,
+        "untraced_s": round(untraced, 6),
+        "traced_s": round(traced, 6),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "counters": metrics["counters"],
+        "phases": metrics["phases"],
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    print_report(
+        "Trace smoke — 20-loop slice, tracing off vs. on",
+        f"untraced: {untraced * 1e3:.1f}ms   traced: {traced * 1e3:.1f}ms"
+        f"   overhead: {overhead * 100:+.1f}%",
+        f"wrote {ARTIFACT.name}",
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% "
+        f"(untraced {untraced:.4f}s, traced {traced:.4f}s)"
+    )

@@ -18,6 +18,7 @@ Quick start::
     print(result.schedule.format_kernel())
 """
 
+from . import obs
 from .core import (
     ALL_VARIANTS,
     HEURISTIC,

@@ -2,6 +2,7 @@
 
 from .campaign import Campaign, campaign_to_markdown, run_campaign
 from .experiment import (
+    ExperimentError,
     ExperimentResult,
     LoopOutcome,
     UnifiedBaseline,
@@ -29,6 +30,7 @@ from .reporting import (
 __all__ = [
     "Campaign",
     "DeviationHistogram",
+    "ExperimentError",
     "ExperimentResult",
     "LoopOutcome",
     "RegisterPressure",

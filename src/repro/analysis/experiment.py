@@ -13,11 +13,28 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..core.driver import CompilationError, compile_loop
 from ..core.variants import HEURISTIC_ITERATIVE, AssignmentConfig
 from ..ddg.graph import Ddg
 from ..machine.machine import Machine
 from .histogram import DeviationHistogram
+
+
+class ExperimentError(CompilationError):
+    """One loop failed to compile during an experiment run.
+
+    Subclasses :class:`CompilationError` so existing handlers keep
+    working; carries the partially filled :class:`ExperimentResult`
+    (outcomes so far, ``elapsed_seconds`` set) and the failing loop's
+    name for post-mortem analysis.
+    """
+
+    def __init__(self, message: str, partial_result: "ExperimentResult",
+                 loop_name: str) -> None:
+        super().__init__(message)
+        self.partial_result = partial_result
+        self.loop_name = loop_name
 
 
 @dataclass(frozen=True)
@@ -109,18 +126,43 @@ def run_experiment(
         config_name=config.name,
     )
     started = time.perf_counter()
-    for ddg in loops:
-        unified_ii = baseline.ii_for(ddg, unified)
-        clustered = compile_loop(ddg, machine, config, verify=verify)
-        result.outcomes.append(
-            LoopOutcome(
-                loop_name=ddg.name,
-                unified_ii=unified_ii,
-                clustered_ii=clustered.ii,
-                copies=clustered.copy_count,
-            )
-        )
-    result.elapsed_seconds = time.perf_counter() - started
+    try:
+        with obs.span(
+            "experiment", label=result.label, machine=machine.name,
+            loops=len(loops),
+        ):
+            for ddg in loops:
+                with obs.span("loop", loop=ddg.name) as loop_span:
+                    try:
+                        unified_ii = baseline.ii_for(ddg, unified)
+                        clustered = compile_loop(
+                            ddg, machine, config, verify=verify
+                        )
+                    except CompilationError as exc:
+                        obs.count("experiment.failures")
+                        loop_span.note(outcome="failed")
+                        raise ExperimentError(
+                            f"loop {ddg.name!r} failed: {exc}",
+                            partial_result=result,
+                            loop_name=ddg.name,
+                        ) from exc
+                    deviation = clustered.ii - unified_ii
+                    loop_span.note(
+                        ii=clustered.ii, deviation=deviation,
+                        copies=clustered.copy_count,
+                    )
+                obs.count("experiment.loops")
+                result.outcomes.append(
+                    LoopOutcome(
+                        loop_name=ddg.name,
+                        unified_ii=unified_ii,
+                        clustered_ii=clustered.ii,
+                        copies=clustered.copy_count,
+                    )
+                )
+    finally:
+        # Set unconditionally so failure paths still report wall time.
+        result.elapsed_seconds = time.perf_counter() - started
     return result
 
 

@@ -1,21 +1,27 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Subcommands:
 
 * ``compile`` — read a loop in the textual format of
   :mod:`repro.ddg.parse`, assign + schedule it for a chosen machine,
-  print the assignment, kernel, copies, and register pressure.
+  print the assignment, kernel, copies, and register pressure
+  (``--trace`` adds the span tree, ``--trace-out`` a JSONL event log).
+* ``trace`` — compile one loop with tracing on and print only the
+  observability report (see ``docs/OBSERVABILITY.md``).
 * ``stats`` — print the Table 1 statistics of the evaluation suite.
 * ``experiment`` — run one clustered configuration against its unified
-  baseline over the suite and print the II-deviation histogram.
+  baseline over the suite and print the II-deviation histogram
+  (``--json`` emits histogram + obs counters as one JSON document).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional
 
+from . import obs
 from .analysis import (
     deviation_table,
     experiment_summary,
@@ -60,22 +66,63 @@ def _machine(name: str) -> Machine:
         )
 
 
-def _cmd_compile(args: argparse.Namespace) -> int:
+def _read_loop(args: argparse.Namespace):
+    """Parse the loop file argument (``-`` reads stdin)."""
     if args.loop == "-":
         text = sys.stdin.read()
     else:
         with open(args.loop) as handle:
             text = handle.read()
-    loop = parse_loop(text, name=args.loop)
+    return parse_loop(text, name=args.loop)
+
+
+def _trace_requested(args: argparse.Namespace) -> Optional[obs.Trace]:
+    """A fresh trace when any tracing flag asks for one, else None."""
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        return obs.Trace()
+    return None
+
+
+def _emit_trace(trace: Optional[obs.Trace],
+                args: argparse.Namespace) -> None:
+    """Print the trace report and/or write the JSONL log, as flagged."""
+    if trace is None:
+        return
+    if getattr(args, "trace", False):
+        print()
+        print(obs.format_trace_report(trace))
+    out = getattr(args, "trace_out", None)
+    if out:
+        n_events = obs.write_jsonl(trace, out)
+        print(f"wrote {out} ({n_events} events)")
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    loop = _read_loop(args)
     machine = _machine(args.machine)
     config = VARIANTS[args.variant]
-    result = compile_loop(loop, machine, config=config, verify=True)
-    unified = compile_loop(loop, machine.unified_equivalent())
+    trace = _trace_requested(args)
+    if trace is not None:
+        obs.install(trace)
+    try:
+        result = compile_loop(loop, machine, config=config, verify=True)
+        unified = compile_loop(loop, machine.unified_equivalent())
+    finally:
+        if trace is not None:
+            obs.uninstall()
 
+    stats = result.assignment_stats
     print(f"machine: {machine}")
     print(f"II = {result.ii} (unified machine: {unified.ii}, "
           f"MII: {result.mii})")
     print(f"copies inserted: {result.copy_count}")
+    print(f"assignment stats: placements={stats.placements} "
+          f"forced={stats.forced_placements} "
+          f"evictions={stats.evictions} copies={stats.copies} "
+          f"(II attempts: {result.attempts})")
+    sched = result.scheduler_stats
+    print(f"scheduler stats: placements={sched.placements} "
+          f"displacements={sched.evictions}")
     print()
     print("assignment:")
     for node in result.annotated.ddg.nodes:
@@ -108,6 +155,25 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         with open(args.dot, "w") as handle:
             handle.write(annotated_to_dot(result.annotated))
         print(f"wrote {args.dot}")
+    _emit_trace(trace, args)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    loop = _read_loop(args)
+    machine = _machine(args.machine)
+    config = VARIANTS[args.variant]
+    with obs.tracing() as trace:
+        result = compile_loop(loop, machine, config=config)
+    print(f"machine: {machine}")
+    print(f"II = {result.ii} (MII: {result.mii}, "
+          f"attempts: {result.attempts})")
+    print()
+    print(obs.format_trace_report(trace))
+    if args.out:
+        n_events = obs.write_jsonl(trace, args.out)
+        print()
+        print(f"wrote {args.out} ({n_events} events)")
     return 0
 
 
@@ -121,11 +187,50 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     loops = paper_suite(args.loops)
     machine = _machine(args.machine)
     config = VARIANTS[args.variant]
-    result = run_experiment(loops, machine, config=config)
+    trace = _trace_requested(args)
+    if args.json and trace is None:
+        # --json reports obs counters, so it always traces.
+        trace = obs.Trace()
+    if trace is not None:
+        obs.install(trace)
+    try:
+        result = run_experiment(loops, machine, config=config)
+    finally:
+        if trace is not None:
+            obs.uninstall()
+    if args.json:
+        print(json.dumps(_experiment_json(result, trace), indent=2))
+        out = getattr(args, "trace_out", None)
+        if out:
+            obs.write_jsonl(trace, out)
+        return 0
     print(deviation_table([result]))
     print()
     print(experiment_summary(result))
+    _emit_trace(trace, args)
     return 0
+
+
+def _experiment_json(result, trace: Optional[obs.Trace]) -> Dict:
+    """The ``experiment --json`` document: histogram + obs metrics."""
+    histogram = result.histogram
+    doc: Dict = {
+        "label": result.label,
+        "machine": result.machine_name,
+        "config": result.config_name,
+        "n_loops": result.n_loops,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "histogram": {
+            str(deviation): count
+            for deviation, count in sorted(histogram.counts.items())
+        },
+        "match_percentage": round(histogram.match_percentage, 3),
+        "mean_deviation": round(histogram.mean_deviation, 4),
+        "total_copies": result.total_copies,
+    }
+    if trace is not None:
+        doc.update(obs.metrics_dict(trace))
+    return doc
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -144,6 +249,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         print(report)
     return 0
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--trace-out`` flag pair."""
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the span tree, phase profile, and counters",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the trace as a JSONL event log",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,7 +296,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute N iterations on the simulated machine and "
              "validate against the sequential reference",
     )
+    _add_trace_flags(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="compile one loop with tracing on and print the span "
+             "tree, phase profile, and counters",
+    )
+    trace_parser.add_argument("loop", help="loop file ('-' for stdin)")
+    trace_parser.add_argument(
+        "--machine", default="2gp", help=f"one of {sorted(MACHINES)}"
+    )
+    trace_parser.add_argument(
+        "--variant", default="heuristic-iterative",
+        choices=sorted(VARIANTS),
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSONL event log",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     stats_parser = sub.add_parser(
         "stats", help="print Table 1 statistics of the loop suite"
@@ -198,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(VARIANTS),
     )
     experiment_parser.add_argument("--loops", type=int, default=250)
+    experiment_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the deviation histogram + obs counters as JSON",
+    )
+    _add_trace_flags(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
     campaign_parser = sub.add_parser(

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set
 
 from ..ddg.graph import Ddg
 from ..ddg.transform import AnnotatedDdg, trivial_annotation
+from ..obs.trace import count as obs_count, span as obs_span
 from ..machine.machine import Machine, ResourceKey
 from ..mrt.pool import PoolOverflowError, ResourcePools
 from .annotate import build_annotated
@@ -203,6 +204,7 @@ class _Assigner:
         self.unassigned.discard(node_id)
         self._record_history(node_id, cluster)
         self.stats.placements += 1
+        obs_count("assign.placements")
 
     def evict(self, node_id: int, protect: Set[int]) -> bool:
         """Remove a node from its cluster; it re-enters the work list.
@@ -217,6 +219,7 @@ class _Assigner:
         self.routing.unassign_unplanned(node_id)
         self.unassigned.add(node_id)
         self.stats.evictions += 1
+        obs_count("assign.evictions")
         for producer in self.routing.affected_producers(node_id):
             if not self._replan_or_evict(producer, protect):
                 return False
@@ -303,6 +306,8 @@ class _Assigner:
         self._record_history(node_id, cluster)
         self.stats.placements += 1
         self.stats.forced_placements += 1
+        obs_count("assign.placements")
+        obs_count("assign.forced_placements")
         return True
 
     # ------------------------------------------------------------------
@@ -312,22 +317,30 @@ class _Assigner:
         """Assign every node, or return None on budget exhaustion."""
         while self.unassigned:
             if self.budget <= 0:
+                obs_count("assign.budget_exhausted")
                 return None
             self.budget -= 1
+            obs_count("assign.budget_spent")
             node_id = min(self.unassigned, key=self.order.priority_of)
             candidates = [
                 self.evaluate(node_id, cluster)
                 for cluster in self.machine.cluster_indices
             ]
+            obs_count("assign.evaluations", len(candidates))
+            infeasible = sum(1 for c in candidates if not c.feasible)
+            if infeasible:
+                obs_count("assign.infeasible_evaluations", infeasible)
             chosen = select_best_cluster(
                 candidates,
                 node_in_scc=self.order.scc_of(node_id) is not None,
                 use_heuristic=self.config.use_heuristic,
             )
             if chosen is not None:
+                obs_count("assign.select.committed")
                 self.commit(node_id, chosen)
                 continue
             if not self.config.iterative:
+                obs_count("assign.select.abandoned")
                 return None
             with_conflicts = [
                 CandidateInfo(
@@ -345,7 +358,9 @@ class _Assigner:
             ]
             forced = select_failure_cluster(with_conflicts)
             if forced is None or not self.force_assign(node_id, forced):
+                obs_count("assign.select.abandoned")
                 return None
+            obs_count("assign.select.forced")
 
         self.stats.copies = self.routing.total_copies()
         self.stats.succeeded = True
@@ -377,5 +392,13 @@ def assign_clusters(
     if machine.is_unified:
         stats.succeeded = True
         return trivial_annotation(ddg, machine)
-    assigner = _Assigner(ddg, machine, ii, config, stats)
-    return assigner.run()
+    with obs_span("assign", ii=ii) as assign_span:
+        assigner = _Assigner(ddg, machine, ii, config, stats)
+        annotated = assigner.run()
+        assign_span.note(
+            succeeded=annotated is not None,
+            placements=stats.placements,
+            evictions=stats.evictions,
+            copies=stats.copies,
+        )
+    return annotated

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..ddg.graph import Ddg
 from ..machine.machine import Machine, ResourceKey
 from ..mrt.pool import PoolOverflowError, ResourcePools
+from ..obs.trace import count as obs_count
 
 
 class CopyRoutingError(RuntimeError):
@@ -101,6 +102,7 @@ def plan_copies(
         try:
             route = machine.copy_route(producer_cluster, target)
         except ValueError as exc:
+            obs_count("copies.routing_errors")
             raise CopyRoutingError(str(exc)) from exc
         for a, b in zip(route, route[1:]):
             if (a, b) not in hop_edges:
@@ -237,6 +239,7 @@ class RoutingState:
         already been released and its plan dropped — callers either roll
         back via snapshots or evict nodes and call :meth:`replan` again.
         """
+        obs_count("copies.replans")
         old = self._plans.pop(producer, None)
         if old is not None:
             self.pools.release(old.resources)
@@ -251,7 +254,11 @@ class RoutingState:
         )
         if not plan.specs:
             return
-        self.pools.reserve(plan.resources)  # may raise PoolOverflowError
+        try:
+            self.pools.reserve(plan.resources)
+        except PoolOverflowError:
+            obs_count("copies.replan_failures")
+            raise
         self._plans[producer] = plan
 
     def assign_unplanned(self, node_id: int, cluster: int) -> None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..ddg.graph import Ddg
 from ..ddg.mii import mii
 from ..ddg.transform import AnnotatedDdg
@@ -85,37 +86,53 @@ def compile_loop(
     lower = mii(ddg, unified) if min_ii is None else max(1, min_ii)
     upper = lower + ii_search_bound(ddg)
     attempts = 0
-    for candidate_ii in range(lower, upper + 1):
-        attempts += 1
-        assignment_stats = AssignmentStats(ii=candidate_ii)
-        annotated = assign_clusters(
-            ddg, machine, candidate_ii, config, stats=assignment_stats
-        )
-        if annotated is None:
-            continue
-        scheduler_stats = SchedulerStats(ii=candidate_ii)
-        schedule = modulo_schedule(
-            annotated,
-            candidate_ii,
-            budget_ratio=scheduler_budget_ratio,
-            stats=scheduler_stats,
-        )
-        if schedule is None:
-            continue
-        if verify:
-            assert_valid(schedule)
-        return CompiledLoop(
-            ddg=ddg,
-            machine=machine,
-            config=config,
-            ii=candidate_ii,
-            mii=lower if min_ii is None else mii(ddg, unified),
-            annotated=annotated,
-            schedule=schedule,
-            assignment_stats=assignment_stats,
-            scheduler_stats=scheduler_stats,
-            attempts=attempts,
-        )
+    with obs.span(
+        "compile", loop=ddg.name or "loop", machine=machine.name
+    ) as compile_span:
+        for candidate_ii in range(lower, upper + 1):
+            attempts += 1
+            obs.count("driver.attempts")
+            with obs.span("attempt", ii=candidate_ii) as attempt_span:
+                assignment_stats = AssignmentStats(ii=candidate_ii)
+                annotated = assign_clusters(
+                    ddg, machine, candidate_ii, config,
+                    stats=assignment_stats,
+                )
+                if annotated is None:
+                    obs.count("driver.assign_failures")
+                    attempt_span.note(outcome="assign_failed")
+                    continue
+                scheduler_stats = SchedulerStats(ii=candidate_ii)
+                schedule = modulo_schedule(
+                    annotated,
+                    candidate_ii,
+                    budget_ratio=scheduler_budget_ratio,
+                    stats=scheduler_stats,
+                )
+                if schedule is None:
+                    obs.count("driver.schedule_failures")
+                    attempt_span.note(outcome="schedule_failed")
+                    continue
+                if verify:
+                    assert_valid(schedule)
+                attempt_span.note(outcome="ok")
+            compile_span.note(
+                ii=candidate_ii, ii_restarts=attempts - 1
+            )
+            return CompiledLoop(
+                ddg=ddg,
+                machine=machine,
+                config=config,
+                ii=candidate_ii,
+                mii=lower if min_ii is None else mii(ddg, unified),
+                annotated=annotated,
+                schedule=schedule,
+                assignment_stats=assignment_stats,
+                scheduler_stats=scheduler_stats,
+                attempts=attempts,
+            )
+        compile_span.note(outcome="no_schedule")
+        obs.count("driver.compilation_errors")
     raise CompilationError(
         f"no schedule for {ddg.name or 'loop'} on {machine.name} "
         f"within II <= {upper}"

@@ -1,0 +1,64 @@
+"""Observability: structured tracing, counters, and phase profiling.
+
+The pipeline is instrumented with :func:`span` / :func:`count` calls —
+no-ops unless a :class:`Trace` is installed on the calling thread::
+
+    from repro import obs
+
+    with obs.tracing() as trace:
+        compile_loop(ddg, machine)
+    print(obs.format_trace_report(trace))
+    obs.write_jsonl(trace, "trace.jsonl")
+
+See ``docs/OBSERVABILITY.md`` for the span and counter taxonomy.
+"""
+
+from .render import (
+    format_counters,
+    format_phase_table,
+    format_trace_report,
+    format_trace_tree,
+)
+from .sinks import (
+    metrics_dict,
+    read_jsonl,
+    trace_events,
+    trace_from_events,
+    write_jsonl,
+)
+from .trace import (
+    NULL_SPAN,
+    PhaseStats,
+    SpanNode,
+    Trace,
+    count,
+    current_trace,
+    enabled,
+    install,
+    span,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "PhaseStats",
+    "SpanNode",
+    "Trace",
+    "count",
+    "current_trace",
+    "enabled",
+    "format_counters",
+    "format_phase_table",
+    "format_trace_report",
+    "format_trace_tree",
+    "install",
+    "metrics_dict",
+    "read_jsonl",
+    "span",
+    "trace_events",
+    "trace_from_events",
+    "tracing",
+    "uninstall",
+    "write_jsonl",
+]

@@ -1,0 +1,170 @@
+"""Trace sinks: JSONL event logs and machine-readable metrics.
+
+A finished :class:`~repro.obs.trace.Trace` serializes to a JSON-Lines
+event log — one ``begin`` and one ``end`` event per span, in
+chronological order, with the span's own counters flushed on the ``end``
+event (counters never become individual events, so the log size is
+bounded by the span count, not by hot-loop activity).  The log reads
+back into an equivalent trace with :func:`read_jsonl` +
+:func:`trace_from_events`, making the format round-trippable for
+offline analysis.
+
+:func:`metrics_dict` flattens a trace into the ``BENCH_*.json`` shape
+used by the benchmark harness: counters plus per-phase timing summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Union
+
+from .trace import SpanNode, Trace
+
+#: Schema tag stamped on every event for forward compatibility.
+EVENT_VERSION = 1
+
+
+def trace_events(trace: Trace) -> List[Dict[str, object]]:
+    """Flatten a trace into its chronological begin/end event list."""
+    events: List[Dict[str, object]] = []
+
+    def emit(node: SpanNode, depth: int) -> None:
+        begin: Dict[str, object] = {
+            "ev": "begin", "span": node.name, "t": round(node.started, 9),
+            "depth": depth,
+        }
+        if node.attrs:
+            begin["attrs"] = node.attrs
+        events.append(begin)
+        for child in node.children:
+            emit(child, depth + 1)
+        end: Dict[str, object] = {
+            "ev": "end", "span": node.name,
+            "dur": round(node.duration, 9), "depth": depth,
+        }
+        if node.counters:
+            end["counters"] = node.counters
+        events.append(end)
+
+    for root in trace.roots:
+        emit(root, 0)
+    # Counts recorded outside any span would otherwise be lost.
+    orphans = dict(trace.counters)
+    for node in trace.walk():
+        for name, value in node.counters.items():
+            orphans[name] = orphans[name] - value
+            if orphans[name] == 0:
+                del orphans[name]
+    if orphans:
+        events.append({"ev": "counters", "counters": orphans})
+    return events
+
+
+def write_jsonl(trace: Trace, out: Union[str, IO[str]]) -> int:
+    """Write the trace's event log, one JSON object per line.
+
+    ``out`` is a path or an open text file; returns the event count.
+    """
+    events = trace_events(trace)
+    header = {"ev": "trace", "version": EVENT_VERSION}
+    if isinstance(out, str):
+        with open(out, "w") as handle:
+            return _write_lines(handle, header, events)
+    return _write_lines(out, header, events)
+
+
+def _write_lines(handle: IO[str], header: Dict[str, object],
+                 events: Iterable[Dict[str, object]]) -> int:
+    n = 0
+    handle.write(json.dumps(header) + "\n")
+    for event in events:
+        handle.write(json.dumps(event) + "\n")
+        n += 1
+    return n
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[Dict[str, object]]:
+    """Parse a JSONL event log back into its event list.
+
+    The ``trace`` header line is validated and dropped, so
+    ``read_jsonl(path)`` is the inverse of :func:`write_jsonl`'s
+    ``trace_events``.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    events: List[Dict[str, object]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        if event.get("ev") == "trace":
+            if event.get("version") != EVENT_VERSION:
+                raise ValueError(
+                    f"unsupported trace version {event.get('version')!r}"
+                )
+            continue
+        events.append(event)
+    return events
+
+
+def trace_from_events(events: Iterable[Dict[str, object]]) -> Trace:
+    """Rebuild an in-memory trace from a begin/end event stream."""
+    trace = Trace()
+    stack: List[SpanNode] = []
+    for event in events:
+        kind = event.get("ev")
+        if kind == "begin":
+            node = SpanNode(
+                str(event["span"]),
+                dict(event.get("attrs", {})),
+                float(event.get("t", 0.0)),
+            )
+            if stack:
+                stack[-1].children.append(node)
+            else:
+                trace.roots.append(node)
+            stack.append(node)
+        elif kind == "end":
+            if not stack:
+                raise ValueError(f"unbalanced end event: {event}")
+            node = stack.pop()
+            if node.name != event.get("span"):
+                raise ValueError(
+                    f"mismatched end event {event.get('span')!r} for "
+                    f"open span {node.name!r}"
+                )
+            node.duration = float(event.get("dur", 0.0))
+            for name, value in dict(event.get("counters", {})).items():
+                node.counters[name] = int(value)
+                trace.counters[name] = trace.counters.get(name, 0) \
+                    + int(value)
+        elif kind == "counters":
+            for name, value in dict(event.get("counters", {})).items():
+                trace.counters[name] = trace.counters.get(name, 0) \
+                    + int(value)
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+    if stack:
+        raise ValueError(f"{len(stack)} span(s) never ended")
+    return trace
+
+
+def metrics_dict(trace: Trace) -> Dict[str, object]:
+    """The ``BENCH_*.json``-compatible view: counters + phase timings."""
+    phases = {}
+    for name, stats in sorted(trace.phases().items()):
+        phases[name] = {
+            "count": stats.count,
+            "total_s": round(stats.total, 9),
+            "mean_s": round(stats.mean, 9),
+            "min_s": round(stats.min if stats.count else 0.0, 9),
+            "max_s": round(stats.max, 9),
+        }
+    return {
+        "counters": dict(sorted(trace.counters.items())),
+        "phases": phases,
+    }

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set
 from ..ddg.mii import rec_mii
 from ..ddg.transform import AnnotatedDdg
 from ..mrt.table import ModuloReservationTable
+from ..obs.trace import count as obs_count, span as obs_span
 from .priority import compute_metrics
 from .schedule import Schedule
 from .swing import assignment_order
@@ -62,8 +63,24 @@ def modulo_schedule(
     if rec_mii(ddg) > ii:
         # Copies inserted on a recurrence raised RecMII past this II
         # (the paper's Observation Two): provably unschedulable here.
+        obs_count("sched.recmii_rejections")
         return None
+    with obs_span("schedule", ii=ii) as sched_span:
+        schedule = _modulo_schedule(
+            annotated, ii, budget_ratio, stats, ddg
+        )
+        sched_span.note(succeeded=schedule is not None)
+    return schedule
 
+
+def _modulo_schedule(
+    annotated: AnnotatedDdg,
+    ii: int,
+    budget_ratio: int,
+    stats: Optional[SchedulerStats],
+    ddg,
+) -> Optional[Schedule]:
+    """The scheduling loop proper (inside the ``schedule`` span)."""
     order = assignment_order(ddg, ii)
     rank = {node_id: index for index, node_id in enumerate(order)}
     resources = {
@@ -109,11 +126,13 @@ def modulo_schedule(
         mrt.remove(node_id)
         del start[node_id]
         unscheduled.add(node_id)
+        obs_count("sched.backtracks")
         if stats is not None:
             stats.evictions += 1
 
     while unscheduled:
         if budget <= 0:
+            obs_count("sched.budget_exhausted")
             return None
         budget -= 1
         node_id = min(unscheduled, key=lambda n: rank[n])
@@ -139,11 +158,15 @@ def modulo_schedule(
             forced_time = base
 
         chosen: Optional[int] = None
+        probes = 0
         for t in window:
+            probes += 1
             if mrt.available(keys, t):
                 chosen = t
                 break
+        obs_count("sched.slot_probes", probes)
         if chosen is None:
+            obs_count("sched.forced_placements")
             chosen = forced_time
             if node_id in previous_start:
                 chosen = max(forced_time, previous_start[node_id] + 1)
@@ -155,6 +178,7 @@ def modulo_schedule(
         start[node_id] = chosen
         previous_start[node_id] = chosen
         unscheduled.discard(node_id)
+        obs_count("sched.placements")
         if stats is not None:
             stats.placements += 1
 

@@ -68,6 +68,86 @@ class TestExperimentCommand:
         assert "x = 0" in out
         assert "match=" in out
 
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(
+            ["experiment", "--machine", "2gp", "--loops", "10", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_loops"] == 10
+        assert sum(doc["histogram"].values()) == 10
+        assert doc["elapsed_seconds"] > 0
+        assert doc["counters"]["experiment.loops"] == 10
+        assert doc["counters"]["assign.placements"] > 0
+        assert doc["phases"]["loop"]["count"] == 10
+
+    def test_experiment_trace(self, capsys):
+        assert main(
+            ["experiment", "--loops", "5", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase profile:" in out
+        assert "experiment" in out
+
+
+class TestTraceOutputs:
+    def test_compile_trace_prints_span_tree(self, loop_file, capsys):
+        assert main(["compile", loop_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "compile" in out
+        assert "schedule" in out
+        assert "counters:" in out
+        assert "assign.placements" in out
+
+    def test_compile_trace_out_writes_valid_jsonl(self, loop_file,
+                                                  tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["compile", loop_file, "--trace-out", str(path)]
+        ) == 0
+        lines = path.read_text().splitlines()
+        assert lines, "trace file is empty"
+        events = [json.loads(line) for line in lines]
+        assert all("ev" in event for event in events)
+        rebuilt = obs.trace_from_events(obs.read_jsonl(str(path)))
+        assert rebuilt.counter("sched.placements") > 0
+
+    def test_compile_without_flags_does_not_trace(self, loop_file,
+                                                  capsys):
+        assert main(["compile", loop_file]) == 0
+        assert "phase profile:" not in capsys.readouterr().out
+
+    def test_trace_subcommand(self, loop_file, capsys):
+        assert main(["trace", loop_file, "--machine", "4gp"]) == 0
+        out = capsys.readouterr().out
+        assert "II = " in out
+        assert "trace:" in out
+        assert "phase profile:" in out
+        assert "driver.attempts" in out
+
+    def test_trace_subcommand_writes_jsonl(self, loop_file, tmp_path,
+                                           capsys):
+        path = tmp_path / "out.jsonl"
+        assert main(["trace", loop_file, "--out", str(path)]) == 0
+        assert path.read_text().startswith('{"ev": "trace"')
+
+
+class TestAssignmentStatsSurfaced:
+    def test_compile_prints_assignment_stats(self, loop_file, capsys):
+        assert main(["compile", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "assignment stats:" in out
+        assert "placements=" in out
+        assert "evictions=" in out
+        assert "forced=" in out
+        assert "scheduler stats:" in out
+
 
 class TestParser:
     def test_requires_subcommand(self):

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.analysis import (
+    ExperimentError,
     UnifiedBaseline,
     run_experiment,
     run_sweep,
     run_variant_comparison,
 )
+from repro.core import CompilationError
 from repro.core import HEURISTIC_ITERATIVE, SIMPLE
 from repro.machine import two_cluster_gp
 from repro.workloads import paper_suite
@@ -44,6 +46,39 @@ class TestRunExperiment:
     def test_elapsed_recorded(self, small_suite):
         result = run_experiment(small_suite[:2], two_cluster_gp())
         assert result.elapsed_seconds > 0
+
+
+class TestFailurePaths:
+    @pytest.fixture
+    def failing_compile(self, small_suite, monkeypatch):
+        """compile_loop that fails on the third distinct loop."""
+        import repro.analysis.experiment as experiment_module
+
+        real = experiment_module.compile_loop
+        doomed = small_suite[2].name
+
+        def flaky(ddg, machine, *args, **kwargs):
+            if ddg.name == doomed and not machine.is_unified:
+                raise CompilationError(f"injected failure on {ddg.name}")
+            return real(ddg, machine, *args, **kwargs)
+
+        monkeypatch.setattr(experiment_module, "compile_loop", flaky)
+        return doomed
+
+    def test_elapsed_set_on_failure(self, small_suite, failing_compile):
+        with pytest.raises(ExperimentError) as exc_info:
+            run_experiment(small_suite[:5], two_cluster_gp())
+        partial = exc_info.value.partial_result
+        assert partial.elapsed_seconds > 0
+        assert exc_info.value.loop_name == failing_compile
+        # The two loops before the failure were measured.
+        assert partial.n_loops == 2
+
+    def test_failure_is_still_a_compilation_error(self, small_suite,
+                                                  failing_compile):
+        # Existing handlers that catch CompilationError keep working.
+        with pytest.raises(CompilationError):
+            run_experiment(small_suite[:5], two_cluster_gp())
 
 
 class TestBaselineCache:

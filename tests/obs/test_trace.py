@@ -1,0 +1,199 @@
+"""The tracing core: spans, counters, installation, no-op mode."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import PhaseStats
+
+
+class TestSpanNesting:
+    def test_parent_child_structure(self):
+        with obs.tracing() as trace:
+            with obs.span("outer", ii=4):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+        assert [root.name for root in trace.roots] == ["outer"]
+        outer = trace.roots[0]
+        assert outer.attrs == {"ii": 4}
+        assert [child.name for child in outer.children] == [
+            "inner", "inner"
+        ]
+        assert all(not child.children for child in outer.children)
+
+    def test_sibling_roots(self):
+        with obs.tracing() as trace:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        assert [root.name for root in trace.roots] == ["a", "b"]
+
+    def test_durations_nest(self):
+        with obs.tracing() as trace:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        outer, = trace.roots
+        inner, = outer.children
+        assert outer.duration >= inner.duration > 0.0
+        assert inner.started >= outer.started
+
+    def test_note_attaches_attrs(self):
+        with obs.tracing() as trace:
+            with obs.span("assign", ii=3) as sp:
+                sp.note(succeeded=True)
+        assert trace.roots[0].attrs == {"ii": 3, "succeeded": True}
+
+    def test_find_and_walk(self):
+        with obs.tracing() as trace:
+            with obs.span("compile"):
+                with obs.span("attempt"):
+                    with obs.span("assign"):
+                        pass
+                with obs.span("attempt"):
+                    pass
+        assert len(trace.find("attempt")) == 2
+        assert [node.name for node in trace.walk()] == [
+            "compile", "attempt", "assign", "attempt"
+        ]
+
+    def test_exception_closes_span(self):
+        with obs.tracing() as trace:
+            with pytest.raises(ValueError):
+                with obs.span("broken"):
+                    raise ValueError("boom")
+            with obs.span("after"):
+                pass
+        # The exception did not corrupt the stack: "after" is a root.
+        assert [root.name for root in trace.roots] == ["broken", "after"]
+        assert trace.roots[0].duration > 0.0
+
+
+class TestCounters:
+    def test_counters_aggregate_across_spans(self):
+        with obs.tracing() as trace:
+            with obs.span("a"):
+                obs.count("hits")
+                obs.count("hits", 2)
+            with obs.span("b"):
+                obs.count("hits", 4)
+        assert trace.counter("hits") == 7
+        assert trace.roots[0].counters == {"hits": 3}
+        assert trace.roots[1].counters == {"hits": 4}
+
+    def test_counter_on_innermost_span(self):
+        with obs.tracing() as trace:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    obs.count("deep")
+        outer, = trace.roots
+        assert "deep" not in outer.counters
+        assert outer.children[0].counters == {"deep": 1}
+        assert outer.total_counters() == {"deep": 1}
+
+    def test_count_outside_any_span(self):
+        with obs.tracing() as trace:
+            obs.count("orphan", 5)
+        assert trace.counter("orphan") == 5
+        assert trace.roots == []
+
+    def test_missing_counter_reads_zero(self):
+        with obs.tracing() as trace:
+            pass
+        assert trace.counter("never") == 0
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.current_trace() is None
+
+    def test_span_and_count_are_noops_when_disabled(self):
+        # Must not raise, must not record anywhere.
+        obs.count("nope")
+        with obs.span("nothing", ii=1) as sp:
+            sp.note(extra=True)
+        assert obs.current_trace() is None
+
+    def test_disabled_span_returns_shared_null(self):
+        assert obs.span("x") is obs.NULL_SPAN
+        assert obs.span("y", a=1) is obs.NULL_SPAN
+
+    def test_tracing_toggles_enabled(self):
+        assert not obs.enabled()
+        with obs.tracing():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_uninstall_without_install_raises(self):
+        with pytest.raises(RuntimeError):
+            obs.uninstall()
+
+
+class TestInstallation:
+    def test_nested_tracing_restores_outer(self):
+        with obs.tracing() as outer:
+            obs.count("level", 1)
+            with obs.tracing() as inner:
+                obs.count("level", 10)
+            obs.count("level", 1)
+        assert outer.counter("level") == 2
+        assert inner.counter("level") == 10
+
+    def test_explicit_trace_object(self):
+        trace = obs.Trace()
+        with obs.tracing(trace) as installed:
+            assert installed is trace
+            obs.count("x")
+        assert trace.counter("x") == 1
+
+    def test_threads_are_isolated(self):
+        seen = {}
+
+        def worker():
+            # The main thread's trace must not observe this thread.
+            seen["enabled_in_thread"] = obs.enabled()
+            with obs.tracing() as mine:
+                obs.count("thread_hits")
+            seen["thread_count"] = mine.counter("thread_hits")
+
+        with obs.tracing() as trace:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            obs.count("main_hits")
+        assert seen["enabled_in_thread"] is False
+        assert seen["thread_count"] == 1
+        assert trace.counter("thread_hits") == 0
+        assert trace.counter("main_hits") == 1
+
+
+class TestPhases:
+    def test_phase_aggregation(self):
+        with obs.tracing() as trace:
+            for _ in range(3):
+                with obs.span("assign"):
+                    pass
+            with obs.span("schedule"):
+                pass
+        phases = trace.phases()
+        assert set(phases) == {"assign", "schedule"}
+        assign = phases["assign"]
+        assert assign.count == 3
+        assert assign.total >= assign.max >= assign.min > 0.0
+        assert assign.mean == pytest.approx(assign.total / 3)
+        assert sum(assign.buckets.values()) == 3
+
+    def test_bucket_labels(self):
+        assert PhaseStats.bucket_label(0) == "<1us"
+        assert PhaseStats.bucket_label(3) == "<8us"
+        assert PhaseStats.bucket_label(10) == "<1ms"
+        assert PhaseStats.bucket_label(20) == "<1s"
+
+    def test_empty_phase_stats_mean(self):
+        stats = PhaseStats("x")
+        assert stats.mean == 0.0
