@@ -27,6 +27,7 @@ from ..machine.presets import (
 )
 from ..workloads.stats import SuiteStatistics, suite_statistics
 from ..workloads.suite import paper_suite
+from .engine import EngineOptions, run_engine_experiment
 from .experiment import ExperimentResult, UnifiedBaseline, run_experiment
 from .reporting import cumulative_table, deviation_table, table3_rows
 
@@ -67,11 +68,15 @@ def run_campaign(
     loops: Optional[Sequence[Ddg]] = None,
     include_table3: bool = True,
     progress=None,
+    engine_options: Optional[EngineOptions] = None,
 ) -> Campaign:
     """Run every paper experiment over one suite.
 
     ``progress`` may be a callable receiving one status string per
-    experiment (e.g. ``print``).
+    experiment (e.g. ``print``).  Passing ``engine_options`` routes
+    every experiment through the parallel fault-tolerant engine
+    (workers / per-loop budget / result cache); the unified-baseline
+    cache is still shared across the whole campaign either way.
     """
     suite = list(loops) if loops is not None else paper_suite(n_loops)
     baseline = UnifiedBaseline()
@@ -80,18 +85,24 @@ def run_campaign(
         if progress is not None:
             progress(message)
 
+    def measure(machine, config, label):
+        if engine_options is not None:
+            return run_engine_experiment(
+                suite, machine, config,
+                label=label, baseline=baseline,
+                options=engine_options,
+            )
+        return run_experiment(
+            suite, machine, config, label=label, baseline=baseline,
+        )
+
     def experiments(machines, labels, configs=None):
         results = []
         for index, machine in enumerate(machines):
             config = (configs[index] if configs is not None
                       else HEURISTIC_ITERATIVE)
             note(f"running {labels[index]} ...")
-            results.append(
-                run_experiment(
-                    suite, machine, config,
-                    label=labels[index], baseline=baseline,
-                )
-            )
+            results.append(measure(machine, config, labels[index]))
         return results
 
     campaign = Campaign(
@@ -136,18 +147,17 @@ def run_campaign(
     if include_table3:
         for clusters, buses, ports in TABLE3_CONFIGS:
             note(f"running Table 3: {clusters} clusters ...")
-            result = run_experiment(
-                suite, n_cluster_gp(clusters, buses, ports),
-                label=f"{clusters}cl", baseline=baseline,
+            result = measure(
+                n_cluster_gp(clusters, buses, ports),
+                HEURISTIC_ITERATIVE, f"{clusters}cl",
             )
             campaign.table3.append(
                 (clusters, buses, ports, result.match_percentage)
             )
 
     note("running grid ...")
-    campaign.grid = run_experiment(
-        suite, four_cluster_grid(), label="4-cluster grid",
-        baseline=baseline,
+    campaign.grid = measure(
+        four_cluster_grid(), HEURISTIC_ITERATIVE, "4-cluster grid"
     )
     return campaign
 

@@ -1,0 +1,521 @@
+"""Parallel, fault-tolerant experiment engine.
+
+:func:`run_engine_experiment` measures the same thing as the serial
+reference runner (:func:`repro.analysis.experiment.run_experiment`) —
+one clustered configuration against its unified baseline over a loop
+corpus — but adds the operational machinery a 1327-loop × many-machine
+sweep needs:
+
+* **process-pool fan-out** — ``workers=N`` chunks the corpus over a
+  worker pool; results merge back in suite order, so the outcome list
+  is bit-identical to the serial path regardless of completion order;
+* **fault isolation** — a loop that raises ``CompilationError`` (or
+  ``ValueError`` for a malformed graph) becomes a recorded ``failed``
+  outcome; ``strict=True`` restores the abort-on-first-failure
+  :class:`~repro.analysis.experiment.ExperimentError`;
+* **per-loop wall-time budget** — ``timeout_seconds`` arms a SIGALRM
+  timer around each loop; a loop that blows the budget is gracefully
+  skipped as a ``timeout`` outcome;
+* **on-disk result cache** — ``cache_dir`` persists every outcome under
+  a content hash of (DDG, machine, config), and ``resume=True`` replays
+  cached outcomes so an interrupted sweep restarts for free;
+* **observability merge** — when the parent is tracing, each worker
+  records its own span tree and counters, which are grafted back into
+  the parent collector (see :meth:`repro.obs.Trace.graft`).
+
+The serial runner stays the reference implementation: for any corpus,
+``run_engine_experiment(...).outcomes == run_experiment(...).outcomes``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..core.driver import CompilationError, compile_loop
+from ..core.variants import HEURISTIC_ITERATIVE, AssignmentConfig
+from ..ddg.graph import Ddg
+from ..machine.machine import Machine
+from ..workloads.fingerprint import ddg_fingerprint
+from .experiment import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ExperimentError,
+    ExperimentResult,
+    LoopOutcome,
+    UnifiedBaseline,
+)
+
+#: Bumped whenever the cached-outcome schema changes.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Operational knobs of the engine (measurement knobs stay on the
+    ``run_engine_experiment`` signature, mirroring the serial runner)."""
+
+    #: Worker processes; 0 or 1 runs in-process (still fault-tolerant,
+    #: budgeted, and cached — just not parallel).
+    workers: int = 0
+    #: Abort on the first failing loop instead of recording it.
+    strict: bool = False
+    #: Per-loop wall-time budget in seconds; 0 disables the budget.
+    timeout_seconds: float = 0.0
+    #: Directory for the on-disk outcome cache; None disables caching.
+    cache_dir: Optional[str] = None
+    #: Replay cached outcomes instead of recompiling them.
+    resume: bool = False
+    #: Loops per worker task; 0 picks a size that gives each worker
+    #: several tasks (smooths uneven per-loop compile times).
+    chunk_size: int = 0
+
+
+# ----------------------------------------------------------------------
+# Content-addressed result cache
+# ----------------------------------------------------------------------
+def machine_fingerprint(machine: Machine) -> str:
+    """Hex digest of everything the compiler reads from a machine."""
+    doc = {
+        "name": machine.name,
+        "clusters": machine.n_clusters,
+        "gp": machine.general_purpose,
+        "interconnect": type(machine.interconnect).__name__,
+        "caps": sorted(
+            (str(key), value)
+            for key, value in machine.resource_capacities().items()
+        ),
+    }
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: AssignmentConfig) -> str:
+    """Hex digest of an assignment configuration's knobs."""
+    payload = json.dumps(
+        dataclasses.asdict(config), separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def outcome_cache_key(
+    ddg: Ddg, machine: Machine, config: AssignmentConfig,
+    verify: bool = False,
+) -> str:
+    """Cache key of one (loop, machine, config) measurement."""
+    doc = {
+        "version": CACHE_VERSION,
+        "loop": ddg.name,
+        "ddg": ddg_fingerprint(ddg),
+        "machine": machine_fingerprint(machine),
+        "config": config_fingerprint(config),
+        "verify": verify,
+    }
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of per-loop outcomes, one JSON file per cache key.
+
+    Writes are atomic (temp file + rename) so a killed sweep never
+    leaves a truncated entry behind.  Timeout outcomes are never
+    stored: a bigger budget on the next run should retry them.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str) -> Optional[LoopOutcome]:
+        """The cached outcome under ``key``, or None."""
+        try:
+            with open(self._path(key)) as handle:
+                doc = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if doc.get("version") != CACHE_VERSION:
+            return None
+        return LoopOutcome(
+            loop_name=doc["loop_name"],
+            unified_ii=int(doc["unified_ii"]),
+            clustered_ii=int(doc["clustered_ii"]),
+            copies=int(doc["copies"]),
+            status=doc.get("status", STATUS_OK),
+            error=doc.get("error", ""),
+        )
+
+    def store(self, key: str, outcome: LoopOutcome) -> None:
+        """Persist one outcome (no-op for timeouts)."""
+        if outcome.status == STATUS_TIMEOUT:
+            return
+        doc = {
+            "version": CACHE_VERSION,
+            "loop_name": outcome.loop_name,
+            "unified_ii": outcome.unified_ii,
+            "clustered_ii": outcome.clustered_ii,
+            "copies": outcome.copies,
+            "status": outcome.status,
+            "error": outcome.error,
+        }
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(doc, handle)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(
+            1 for entry in os.listdir(self.root)
+            if entry.endswith(".json")
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-loop measurement (shared by the in-process and worker paths)
+# ----------------------------------------------------------------------
+class _LoopTimeout(Exception):
+    """Raised by the SIGALRM handler when a loop blows its budget."""
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - trivial
+    raise _LoopTimeout()
+
+
+class _TimeBudget:
+    """SIGALRM-based wall-time budget around one loop's compiles.
+
+    Arms a real-time interval timer on ``__enter__`` and disarms it on
+    ``__exit__``.  Signals only work on the main thread of a process;
+    elsewhere (or with a non-positive budget) this is a no-op, so the
+    budget is best-effort by design — worker processes always run it on
+    their main thread, which is the case that matters.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self._armed = False
+        self._previous = None
+
+    def __enter__(self) -> "_TimeBudget":
+        if (self.seconds > 0
+                and threading.current_thread()
+                is threading.main_thread()):
+            self._previous = signal.signal(
+                signal.SIGALRM, _alarm_handler
+            )
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def _measure_loop(
+    ddg: Ddg,
+    machine: Machine,
+    unified: Machine,
+    config: AssignmentConfig,
+    verify: bool,
+    timeout_seconds: float,
+    unified_ii_hint: Optional[int],
+) -> Tuple[LoopOutcome, float]:
+    """One loop's outcome plus the seconds spent on its unified baseline.
+
+    Mirrors the serial runner's per-loop body exactly (same exception
+    taxonomy, same outcome fields) so engine outcomes stay bit-identical
+    to the reference implementation.
+    """
+    unified_ii = 0
+    baseline_seconds = 0.0
+    with obs.span("loop", loop=ddg.name) as loop_span:
+        try:
+            with _TimeBudget(timeout_seconds):
+                if unified_ii_hint is not None:
+                    unified_ii = unified_ii_hint
+                else:
+                    baseline_started = time.perf_counter()
+                    try:
+                        unified_ii = compile_loop(ddg, unified).ii
+                    finally:
+                        baseline_seconds += (
+                            time.perf_counter() - baseline_started
+                        )
+                clustered = compile_loop(
+                    ddg, machine, config, verify=verify
+                )
+        except CompilationError as exc:
+            obs.count("experiment.failures")
+            loop_span.note(outcome="failed")
+            outcome = LoopOutcome(
+                loop_name=ddg.name, unified_ii=unified_ii,
+                clustered_ii=0, copies=0,
+                status=STATUS_FAILED, error=str(exc),
+            )
+        except ValueError as exc:
+            obs.count("experiment.failures")
+            loop_span.note(outcome="failed")
+            outcome = LoopOutcome(
+                loop_name=ddg.name, unified_ii=unified_ii,
+                clustered_ii=0, copies=0,
+                status=STATUS_FAILED, error=f"invalid loop: {exc}",
+            )
+        except _LoopTimeout:
+            obs.count("experiment.timeouts")
+            loop_span.note(outcome="timeout")
+            outcome = LoopOutcome(
+                loop_name=ddg.name, unified_ii=unified_ii,
+                clustered_ii=0, copies=0,
+                status=STATUS_TIMEOUT,
+                error=(f"exceeded the {timeout_seconds:g}s "
+                       f"per-loop budget"),
+            )
+        else:
+            deviation = clustered.ii - unified_ii
+            loop_span.note(
+                ii=clustered.ii, deviation=deviation,
+                copies=clustered.copy_count,
+            )
+            obs.count("experiment.loops")
+            outcome = LoopOutcome(
+                loop_name=ddg.name,
+                unified_ii=unified_ii,
+                clustered_ii=clustered.ii,
+                copies=clustered.copy_count,
+            )
+    return outcome, baseline_seconds
+
+
+# ----------------------------------------------------------------------
+# Worker-side chunk execution
+# ----------------------------------------------------------------------
+def _run_chunk(payload: Tuple) -> Tuple:
+    """Process-pool task: measure one chunk of (index, loop) pairs.
+
+    Returns ``(records, events)`` where ``records`` is a list of
+    ``(suite_index, outcome, baseline_seconds)`` triples and ``events``
+    is the worker trace's serialized event list (None when the parent
+    was not tracing).
+    """
+    (items, machine, config, verify,
+     timeout_seconds, known_ii, want_trace) = payload
+    trace = obs.Trace() if want_trace else None
+    if trace is not None:
+        obs.install(trace)
+    try:
+        unified = machine.unified_equivalent()
+        records = []
+        for index, ddg in items:
+            outcome, baseline_seconds = _measure_loop(
+                ddg, machine, unified, config, verify,
+                timeout_seconds, known_ii.get(ddg.name),
+            )
+            records.append((index, outcome, baseline_seconds))
+        events = obs.trace_events(trace) if trace is not None else None
+    finally:
+        if trace is not None:
+            obs.uninstall()
+    return records, events
+
+
+def _chunked(
+    pending: List[Tuple[int, Ddg]], workers: int, chunk_size: int
+) -> List[List[Tuple[int, Ddg]]]:
+    """Split the work list into contiguous chunks.
+
+    Contiguity keeps the deterministic merge trivial and preserves suite
+    locality; several chunks per worker smooth uneven compile times.
+    """
+    if chunk_size <= 0:
+        chunk_size = max(1, -(-len(pending) // (workers * 4)))
+    return [
+        pending[start:start + chunk_size]
+        for start in range(0, len(pending), chunk_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def run_engine_experiment(
+    loops: Sequence[Ddg],
+    machine: Machine,
+    config: AssignmentConfig = HEURISTIC_ITERATIVE,
+    label: str = "",
+    baseline: Optional[UnifiedBaseline] = None,
+    verify: bool = False,
+    options: Optional[EngineOptions] = None,
+) -> ExperimentResult:
+    """Measure one clustered configuration with the parallel engine.
+
+    Outcomes are identical to the serial reference runner; see the
+    module docstring for what ``options`` adds on top.
+    """
+    if options is None:
+        options = EngineOptions()
+    if baseline is None:
+        baseline = UnifiedBaseline()
+    loops = list(loops)
+    unified = machine.unified_equivalent()
+    cache = (ResultCache(options.cache_dir)
+             if options.cache_dir else None)
+    result = ExperimentResult(
+        label=label or f"{machine.name}/{config.name}",
+        machine_name=machine.name,
+        config_name=config.name,
+    )
+    started = time.perf_counter()
+    baseline_before = baseline.elapsed_seconds
+    outcomes: List[Optional[LoopOutcome]] = [None] * len(loops)
+    keys: List[Optional[str]] = [None] * len(loops)
+    replayed: set = set()
+    try:
+        with obs.span(
+            "experiment", label=result.label, machine=machine.name,
+            loops=len(loops), workers=options.workers,
+        ):
+            pending: List[Tuple[int, Ddg]] = []
+            for index, ddg in enumerate(loops):
+                if cache is not None:
+                    keys[index] = outcome_cache_key(
+                        ddg, machine, config, verify
+                    )
+                hit = (cache.load(keys[index])
+                       if cache is not None and options.resume else None)
+                if hit is not None:
+                    obs.count("engine.cache_hits")
+                    result.cache_hits += 1
+                    outcomes[index] = hit
+                    replayed.add(index)
+                    if hit.unified_ii > 0:
+                        baseline.seed(unified.name, ddg, hit.unified_ii)
+                else:
+                    if cache is not None and options.resume:
+                        obs.count("engine.cache_misses")
+                    pending.append((index, ddg))
+
+            if options.workers >= 2 and len(pending) > 1:
+                _run_parallel(
+                    pending, machine, unified, config, verify,
+                    options, baseline, outcomes, result,
+                )
+            else:
+                _run_inline(
+                    pending, machine, unified, config, verify,
+                    options, baseline, outcomes, result,
+                )
+
+            if cache is not None:
+                for index, outcome in enumerate(outcomes):
+                    if outcome is not None and index not in replayed:
+                        cache.store(keys[index], outcome)
+    finally:
+        result.baseline_seconds += (
+            baseline.elapsed_seconds - baseline_before
+        )
+        result.elapsed_seconds = (
+            time.perf_counter() - started - result.baseline_seconds
+        )
+    result.outcomes = [
+        outcome for outcome in outcomes if outcome is not None
+    ]
+    if options.strict:
+        _raise_on_first_failure(result)
+    return result
+
+
+def _run_inline(
+    pending, machine, unified, config, verify, options,
+    baseline, outcomes, result,
+) -> None:
+    """Measure the pending loops in-process, sharing the baseline cache."""
+    for index, ddg in pending:
+        hint = baseline.lookup(unified.name, ddg.name)
+        outcome, baseline_seconds = _measure_loop(
+            ddg, machine, unified, config, verify,
+            options.timeout_seconds, hint,
+        )
+        result.baseline_seconds += baseline_seconds
+        if outcome.unified_ii > 0:
+            baseline.seed(unified.name, ddg, outcome.unified_ii)
+        outcomes[index] = outcome
+
+
+def _run_parallel(
+    pending, machine, unified, config, verify, options,
+    baseline, outcomes, result,
+) -> None:
+    """Fan the pending loops out over a process pool and merge back."""
+    known_ii = {
+        ddg.name: ii
+        for _, ddg in pending
+        for ii in [baseline.lookup(unified.name, ddg.name)]
+        if ii is not None
+    }
+    want_trace = obs.enabled()
+    chunks = _chunked(pending, options.workers, options.chunk_size)
+    payloads = [
+        (chunk, machine, config, verify,
+         options.timeout_seconds, known_ii, want_trace)
+        for chunk in chunks
+    ]
+    by_name = {ddg.name: ddg for _, ddg in pending}
+    parent_trace = obs.current_trace()
+    with ProcessPoolExecutor(max_workers=options.workers) as pool:
+        for records, events in pool.map(_run_chunk, payloads):
+            for index, outcome, baseline_seconds in records:
+                result.baseline_seconds += baseline_seconds
+                if outcome.unified_ii > 0:
+                    baseline.seed(
+                        unified.name, by_name[outcome.loop_name],
+                        outcome.unified_ii,
+                    )
+                outcomes[index] = outcome
+            if events and parent_trace is not None:
+                parent_trace.graft(
+                    obs.trace_from_events(events), name="worker",
+                    chunk_loops=len(records),
+                )
+
+
+def _raise_on_first_failure(result: ExperimentResult) -> None:
+    """Strict mode: mirror the serial runner's abort semantics.
+
+    The raised :class:`ExperimentError` carries a partial result holding
+    the outcomes *before* the first failure in suite order — exactly
+    what the serial strict path would have accumulated.
+    """
+    for position, outcome in enumerate(result.outcomes):
+        if outcome.ok:
+            continue
+        partial = ExperimentResult(
+            label=result.label,
+            machine_name=result.machine_name,
+            config_name=result.config_name,
+            outcomes=list(result.outcomes[:position]),
+            elapsed_seconds=result.elapsed_seconds,
+            baseline_seconds=result.baseline_seconds,
+            cache_hits=result.cache_hits,
+        )
+        raise ExperimentError(
+            f"loop {outcome.loop_name!r} failed: {outcome.error}",
+            partial_result=partial,
+            loop_name=outcome.loop_name,
+        )

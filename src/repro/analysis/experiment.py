@@ -5,6 +5,14 @@ clustered machine and for the equally wide unified machine, and report the
 distribution of the II difference.  ``UnifiedBaseline`` caches the unified
 IIs so sweeps that share a width (e.g. the bus-count sweeps of Figures
 14–17) pay for the baseline only once.
+
+Fault tolerance: by default a loop that fails to compile (or is
+malformed) is recorded as a ``failed`` :class:`LoopOutcome` and the run
+continues — one bad loop out of 1327 no longer destroys a sweep.
+``strict=True`` restores the historical abort-on-first-failure
+behaviour (:class:`ExperimentError`).  This serial runner is the
+*reference implementation*; the parallel engine in
+:mod:`repro.analysis.engine` must produce identical outcomes.
 """
 
 from __future__ import annotations
@@ -18,11 +26,17 @@ from ..core.driver import CompilationError, compile_loop
 from ..core.variants import HEURISTIC_ITERATIVE, AssignmentConfig
 from ..ddg.graph import Ddg
 from ..machine.machine import Machine
+from ..workloads.fingerprint import ddg_fingerprint
 from .histogram import DeviationHistogram
+
+#: Loop outcome statuses.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
 
 
 class ExperimentError(CompilationError):
-    """One loop failed to compile during an experiment run.
+    """One loop failed to compile during a strict experiment run.
 
     Subclasses :class:`CompilationError` so existing handlers keep
     working; carries the partially filled :class:`ExperimentResult`
@@ -39,70 +53,147 @@ class ExperimentError(CompilationError):
 
 @dataclass(frozen=True)
 class LoopOutcome:
-    """Result of one loop on one clustered configuration."""
+    """Result of one loop on one clustered configuration.
+
+    ``status`` is :data:`STATUS_OK` for a measured loop; ``failed`` and
+    ``timeout`` outcomes keep the suite position but carry no
+    measurement (``clustered_ii`` is 0; ``unified_ii`` is the baseline
+    II when it was computed before the failure, else 0).
+    """
 
     loop_name: str
     unified_ii: int
     clustered_ii: int
     copies: int
+    status: str = STATUS_OK
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the loop was measured successfully."""
+        return self.status == STATUS_OK
 
     @property
     def deviation(self) -> int:
-        """``II_clustered - II_unified`` (the figures' x-axis)."""
+        """``II_clustered - II_unified`` (the figures' x-axis).
+
+        Only meaningful for ``ok`` outcomes; figure/histogram consumers
+        must filter on :attr:`ok` (``ExperimentResult.measured`` does).
+        """
         return self.clustered_ii - self.unified_ii
 
 
 @dataclass
 class ExperimentResult:
-    """All outcomes of one experiment, plus derived figure data."""
+    """All outcomes of one experiment, plus derived figure data.
+
+    ``elapsed_seconds`` covers only this experiment's own clustered
+    compiles; time spent filling the shared unified-baseline cache is
+    tracked separately in ``baseline_seconds`` so sweep entries that
+    happen to run first are not charged for work every entry reuses.
+    """
 
     label: str
     machine_name: str
     config_name: str
     outcomes: List[LoopOutcome] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    baseline_seconds: float = 0.0
+    cache_hits: int = 0
+
+    @property
+    def measured(self) -> List[LoopOutcome]:
+        """Outcomes of loops that compiled successfully."""
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def failures(self) -> List[LoopOutcome]:
+        """Failed / timed-out outcomes."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def n_failed(self) -> int:
+        """Number of loops that failed or timed out."""
+        return len(self.failures)
 
     @property
     def histogram(self) -> DeviationHistogram:
-        """Deviation histogram over all outcomes."""
+        """Deviation histogram over the measured outcomes."""
         histogram = DeviationHistogram()
-        for outcome in self.outcomes:
+        for outcome in self.measured:
             histogram.add(outcome.deviation)
         return histogram
 
     @property
     def match_percentage(self) -> float:
-        """Percent of loops whose II matched the unified machine."""
+        """Percent of measured loops whose II matched the unified machine."""
         return self.histogram.match_percentage
 
     @property
     def total_copies(self) -> int:
         """Copies inserted across the whole suite."""
-        return sum(outcome.copies for outcome in self.outcomes)
+        return sum(outcome.copies for outcome in self.measured)
 
     @property
     def n_loops(self) -> int:
-        """Number of loops measured."""
+        """Number of loops attempted (measured + failed)."""
         return len(self.outcomes)
 
 
 class UnifiedBaseline:
     """Cache of unified-machine IIs keyed by (machine name, loop name).
 
-    Loop names must be unique within a suite (they are: kernels carry
-    their kernel name, synthetic loops an index-stamped name).
+    Loop names must be unique within a suite; a guard on the loop's
+    content fingerprint turns a silent cache collision between two
+    different loops sharing a name into a hard error.  The time spent
+    compiling baselines accumulates in :attr:`elapsed_seconds` so
+    experiment runners can report it separately from their own work.
     """
 
     def __init__(self) -> None:
         self._cache: Dict[Tuple[str, str], int] = {}
+        self._fingerprints: Dict[Tuple[str, str], str] = {}
+        #: Total wall seconds spent compiling baseline (unified) loops.
+        self.elapsed_seconds = 0.0
 
     def ii_for(self, ddg: Ddg, unified: Machine) -> int:
         """Unified II of one loop, computed once."""
         key = (unified.name, ddg.name)
+        fingerprint = ddg_fingerprint(ddg)
+        known = self._fingerprints.get(key)
+        if known is not None and known != fingerprint:
+            raise ValueError(
+                f"duplicate loop name {ddg.name!r} with different "
+                f"content on machine {unified.name!r}: baseline cache "
+                f"keys would collide"
+            )
         if key not in self._cache:
-            result = compile_loop(ddg, unified)
+            started = time.perf_counter()
+            try:
+                result = compile_loop(ddg, unified)
+            finally:
+                self.elapsed_seconds += time.perf_counter() - started
             self._cache[key] = result.ii
+            self._fingerprints[key] = fingerprint
         return self._cache[key]
+
+    def lookup(self, unified_name: str, loop_name: str) -> Optional[int]:
+        """Cached II, or None — never compiles."""
+        return self._cache.get((unified_name, loop_name))
+
+    def seed(self, unified_name: str, ddg: Ddg, ii: int) -> None:
+        """Record an II computed elsewhere (a worker process, a cache)."""
+        key = (unified_name, ddg.name)
+        fingerprint = ddg_fingerprint(ddg)
+        known = self._fingerprints.get(key)
+        if known is not None and known != fingerprint:
+            raise ValueError(
+                f"duplicate loop name {ddg.name!r} with different "
+                f"content on machine {unified_name!r}: baseline cache "
+                f"keys would collide"
+            )
+        self._cache[key] = ii
+        self._fingerprints[key] = fingerprint
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -115,8 +206,17 @@ def run_experiment(
     label: str = "",
     baseline: Optional[UnifiedBaseline] = None,
     verify: bool = False,
+    strict: bool = False,
 ) -> ExperimentResult:
-    """Measure one clustered configuration against its unified baseline."""
+    """Measure one clustered configuration against its unified baseline.
+
+    A loop that raises :class:`CompilationError` (or ``ValueError``
+    for a malformed graph) is recorded as a ``failed`` outcome and the
+    run continues.  With ``strict=True`` a ``CompilationError`` aborts
+    the run as an :class:`ExperimentError` carrying the partial result
+    (malformed-graph ``ValueError`` propagates unchanged, as it always
+    did).
+    """
     if baseline is None:
         baseline = UnifiedBaseline()
     unified = machine.unified_equivalent()
@@ -126,6 +226,7 @@ def run_experiment(
         config_name=config.name,
     )
     started = time.perf_counter()
+    baseline_before = baseline.elapsed_seconds
     try:
         with obs.span(
             "experiment", label=result.label, machine=machine.name,
@@ -133,6 +234,7 @@ def run_experiment(
         ):
             for ddg in loops:
                 with obs.span("loop", loop=ddg.name) as loop_span:
+                    unified_ii = 0
                     try:
                         unified_ii = baseline.ii_for(ddg, unified)
                         clustered = compile_loop(
@@ -141,28 +243,56 @@ def run_experiment(
                     except CompilationError as exc:
                         obs.count("experiment.failures")
                         loop_span.note(outcome="failed")
-                        raise ExperimentError(
-                            f"loop {ddg.name!r} failed: {exc}",
-                            partial_result=result,
+                        if strict:
+                            raise ExperimentError(
+                                f"loop {ddg.name!r} failed: {exc}",
+                                partial_result=result,
+                                loop_name=ddg.name,
+                            ) from exc
+                        outcome = LoopOutcome(
                             loop_name=ddg.name,
-                        ) from exc
-                    deviation = clustered.ii - unified_ii
-                    loop_span.note(
-                        ii=clustered.ii, deviation=deviation,
-                        copies=clustered.copy_count,
-                    )
-                obs.count("experiment.loops")
-                result.outcomes.append(
-                    LoopOutcome(
-                        loop_name=ddg.name,
-                        unified_ii=unified_ii,
-                        clustered_ii=clustered.ii,
-                        copies=clustered.copy_count,
-                    )
-                )
+                            unified_ii=unified_ii,
+                            clustered_ii=0,
+                            copies=0,
+                            status=STATUS_FAILED,
+                            error=str(exc),
+                        )
+                    except ValueError as exc:
+                        if strict:
+                            raise
+                        obs.count("experiment.failures")
+                        loop_span.note(outcome="failed")
+                        outcome = LoopOutcome(
+                            loop_name=ddg.name,
+                            unified_ii=unified_ii,
+                            clustered_ii=0,
+                            copies=0,
+                            status=STATUS_FAILED,
+                            error=f"invalid loop: {exc}",
+                        )
+                    else:
+                        deviation = clustered.ii - unified_ii
+                        loop_span.note(
+                            ii=clustered.ii, deviation=deviation,
+                            copies=clustered.copy_count,
+                        )
+                        obs.count("experiment.loops")
+                        outcome = LoopOutcome(
+                            loop_name=ddg.name,
+                            unified_ii=unified_ii,
+                            clustered_ii=clustered.ii,
+                            copies=clustered.copy_count,
+                        )
+                result.outcomes.append(outcome)
     finally:
-        # Set unconditionally so failure paths still report wall time.
-        result.elapsed_seconds = time.perf_counter() - started
+        # Set unconditionally so failure paths still report wall time;
+        # baseline compile time is reported on its own, not charged to
+        # whichever experiment happened to run first.
+        result.baseline_seconds = \
+            baseline.elapsed_seconds - baseline_before
+        result.elapsed_seconds = (
+            time.perf_counter() - started - result.baseline_seconds
+        )
     return result
 
 
@@ -173,6 +303,7 @@ def run_sweep(
     labels: Optional[Sequence[str]] = None,
     baseline: Optional[UnifiedBaseline] = None,
     verify: bool = False,
+    strict: bool = False,
 ) -> List[ExperimentResult]:
     """Run one experiment per machine (the bus/port sweep pattern)."""
     if baseline is None:
@@ -187,6 +318,7 @@ def run_sweep(
             run_experiment(
                 loops, machine, config,
                 label=label, baseline=baseline, verify=verify,
+                strict=strict,
             )
         )
     return results
@@ -198,6 +330,7 @@ def run_variant_comparison(
     configs: Iterable[AssignmentConfig],
     baseline: Optional[UnifiedBaseline] = None,
     verify: bool = False,
+    strict: bool = False,
 ) -> List[ExperimentResult]:
     """Run one experiment per algorithm variant (Figures 12–13 pattern)."""
     if baseline is None:
@@ -206,6 +339,7 @@ def run_variant_comparison(
         run_experiment(
             loops, machine, config,
             label=config.name, baseline=baseline, verify=verify,
+            strict=strict,
         )
         for config in configs
     ]

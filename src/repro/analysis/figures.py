@@ -84,11 +84,17 @@ def results_to_csv(
 
 
 def outcomes_to_csv(result: ExperimentResult) -> str:
-    """Raw per-loop outcomes of one experiment."""
-    lines = ["loop,unified_ii,clustered_ii,deviation,copies"]
+    """Raw per-loop outcomes of one experiment.
+
+    Failed / timed-out loops are exported too (status column) so
+    downstream analysis can see the full suite; their measurement
+    columns carry the placeholder zeros of the outcome record.
+    """
+    lines = ["loop,unified_ii,clustered_ii,deviation,copies,status"]
     for outcome in result.outcomes:
         lines.append(
             f"{outcome.loop_name},{outcome.unified_ii},"
-            f"{outcome.clustered_ii},{outcome.deviation},{outcome.copies}"
+            f"{outcome.clustered_ii},{outcome.deviation},"
+            f"{outcome.copies},{outcome.status}"
         )
     return "\n".join(lines) + "\n"

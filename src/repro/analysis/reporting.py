@@ -91,10 +91,14 @@ def table3_rows(
 def experiment_summary(result: ExperimentResult) -> str:
     """One-line summary used in bench logs."""
     histogram = result.histogram
+    failed = (f"failed={result.n_failed} " if result.n_failed else "")
+    timing = f"{result.elapsed_seconds:.1f}s"
+    if result.baseline_seconds > 0:
+        timing += f" + {result.baseline_seconds:.1f}s baseline"
     return (
         f"{result.label}: match={histogram.match_percentage:.1f}% "
         f"within1={histogram.percentage_at_most(1):.1f}% "
         f"mean_dev={histogram.mean_deviation:.2f} "
         f"copies={result.total_copies} "
-        f"loops={result.n_loops} ({result.elapsed_seconds:.1f}s)"
+        f"loops={result.n_loops} {failed}({timing})"
     )

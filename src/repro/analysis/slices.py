@@ -56,11 +56,12 @@ def slice_result(
     """Split ``result`` by ``classifier`` applied to the matching loops.
 
     ``loops`` must be the exact suite the experiment ran over (matched by
-    loop name).
+    loop name).  Only measured outcomes are sliced; failed or timed-out
+    loops carry no II to classify.
     """
     by_name = {loop.name: loop for loop in loops}
     slices: Dict[str, List[LoopOutcome]] = {}
-    for outcome in result.outcomes:
+    for outcome in result.measured:
         loop = by_name.get(outcome.loop_name)
         if loop is None:
             raise KeyError(

@@ -23,8 +23,11 @@ from typing import Callable, Dict, Optional
 
 from . import obs
 from .analysis import (
+    EngineOptions,
+    ExperimentError,
     deviation_table,
     experiment_summary,
+    run_engine_experiment,
     run_experiment,
 )
 from .analysis.registers import format_pressure, register_pressure
@@ -183,10 +186,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_options(args: argparse.Namespace) -> Optional[EngineOptions]:
+    """Engine options when any engine flag was used, else None.
+
+    Without engine flags the serial reference runner handles the
+    experiment (lenient or strict per ``--strict``).
+    """
+    if not (args.workers or args.cache_dir or args.resume
+            or args.timeout):
+        return None
+    return EngineOptions(
+        workers=args.workers,
+        strict=args.strict,
+        timeout_seconds=args.timeout,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     loops = paper_suite(args.loops)
     machine = _machine(args.machine)
     config = VARIANTS[args.variant]
+    options = _engine_options(args)
     trace = _trace_requested(args)
     if args.json and trace is None:
         # --json reports obs counters, so it always traces.
@@ -194,7 +216,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if trace is not None:
         obs.install(trace)
     try:
-        result = run_experiment(loops, machine, config=config)
+        if options is not None:
+            result = run_engine_experiment(
+                loops, machine, config=config, options=options
+            )
+        else:
+            result = run_experiment(
+                loops, machine, config=config, strict=args.strict
+            )
+    except ExperimentError as exc:
+        print(f"experiment aborted: {exc}", file=sys.stderr)
+        print(
+            f"partial result: "
+            f"{exc.partial_result.n_loops} loops measured",
+            file=sys.stderr,
+        )
+        return 1
     finally:
         if trace is not None:
             obs.uninstall()
@@ -219,7 +256,10 @@ def _experiment_json(result, trace: Optional[obs.Trace]) -> Dict:
         "machine": result.machine_name,
         "config": result.config_name,
         "n_loops": result.n_loops,
+        "n_failed": result.n_failed,
+        "cache_hits": result.cache_hits,
         "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "baseline_seconds": round(result.baseline_seconds, 6),
         "histogram": {
             str(deviation): count
             for deviation, count in sorted(histogram.counts.items())
@@ -228,6 +268,12 @@ def _experiment_json(result, trace: Optional[obs.Trace]) -> Dict:
         "mean_deviation": round(histogram.mean_deviation, 4),
         "total_copies": result.total_copies,
     }
+    if result.n_failed:
+        doc["failures"] = [
+            {"loop": outcome.loop_name, "status": outcome.status,
+             "error": outcome.error}
+            for outcome in result.failures
+        ]
     if trace is not None:
         doc.update(obs.metrics_dict(trace))
     return doc
@@ -240,6 +286,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         n_loops=args.loops,
         include_table3=not args.skip_table3,
         progress=(print if args.verbose else None),
+        engine_options=_engine_options(args),
     )
     report = campaign_to_markdown(campaign)
     if args.output:
@@ -249,6 +296,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         print(report)
     return 0
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The experiment-engine flag set (see docs/EXPERIMENT_ENGINE.md)."""
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan loops out over N worker processes "
+             "(0 = serial reference path)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="abort on the first failing loop instead of recording "
+             "it as a failed outcome",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SECONDS",
+        help="per-loop wall-time budget; over-budget loops are "
+             "skipped as 'timeout' outcomes (0 = no budget)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist per-loop outcomes keyed by content hash",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay cached outcomes from --cache-dir instead of "
+             "recompiling them",
+    )
 
 
 def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
@@ -339,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the deviation histogram + obs counters as JSON",
     )
+    _add_engine_flags(experiment_parser)
     _add_trace_flags(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
@@ -355,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the slow 6/8-cluster Table 3 sweep",
     )
     campaign_parser.add_argument("--verbose", action="store_true")
+    _add_engine_flags(campaign_parser)
     campaign_parser.set_defaults(func=_cmd_campaign)
     return parser
 

@@ -83,7 +83,8 @@ def compile_loop(
     every produced schedule with the independent validator.
     """
     unified = machine.unified_equivalent()
-    lower = mii(ddg, unified) if min_ii is None else max(1, min_ii)
+    machine_mii = mii(ddg, unified)
+    lower = machine_mii if min_ii is None else max(1, min_ii)
     upper = lower + ii_search_bound(ddg)
     attempts = 0
     with obs.span(
@@ -124,7 +125,7 @@ def compile_loop(
                 machine=machine,
                 config=config,
                 ii=candidate_ii,
-                mii=lower if min_ii is None else mii(ddg, unified),
+                mii=machine_mii,
                 annotated=annotated,
                 schedule=schedule,
                 assignment_stats=assignment_stats,

@@ -52,6 +52,38 @@ def _positive_cycle_exists(
     return True
 
 
+def _cycle_exists(nodes: List[int], arcs: List[Tuple[int, int]]) -> bool:
+    """True when the directed graph over ``nodes`` contains a cycle.
+
+    Iterative colouring DFS (white/gray/black); a gray-to-gray arc is a
+    back edge and therefore a cycle.
+    """
+    succs: Dict[int, List[int]] = {node: [] for node in nodes}
+    for src, dst in arcs:
+        succs[src].append(dst)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in nodes}
+    for start in nodes:
+        if colour[start] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        colour[start] = GRAY
+        while stack:
+            node, next_index = stack[-1]
+            if next_index < len(succs[node]):
+                stack[-1] = (node, next_index + 1)
+                succ = succs[node][next_index]
+                if colour[succ] == GRAY:
+                    return True
+                if colour[succ] == WHITE:
+                    colour[succ] = GRAY
+                    stack.append((succ, 0))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    return False
+
+
 def _subgraph_edges(
     ddg: Ddg, nodes: Set[int]
 ) -> List[Tuple[int, int, int, int]]:
@@ -83,11 +115,27 @@ def rec_mii_of_subgraph(ddg: Ddg, nodes: Iterable[int]) -> int:
         raise ValueError(
             "dependence cycle with zero total distance: graph is unschedulable"
         )
+    # A cycle made entirely of zero-latency ops has weight 0 at *every*
+    # II, so the positive-cycle probes are blind to it.  With zero total
+    # distance it is a same-iteration self-dependence — unschedulable —
+    # and must be rejected here explicitly (the probe above only catches
+    # zero-distance cycles of positive total latency).  A zero-latency
+    # cycle with distance >= 1 bounds II >= ceil(0 / d) = 0, i.e. it
+    # imposes no recurrence constraint and is legitimately ignored.
+    if _cycle_exists(
+        node_list,
+        [(src, dst) for src, dst, latency, distance in edges
+         if latency == 0 and distance == 0],
+    ):
+        raise ValueError(
+            "dependence cycle with zero total distance: graph is unschedulable"
+        )
     low, high = 0, upper
-    # Invariant: high is feasible, low is infeasible (II = 0 always
-    # infeasible when a cycle exists because latencies are positive).
+    # Invariant: high is feasible, low is infeasible.  II = 0 is
+    # infeasible exactly when some cycle has positive total latency;
+    # cycles of only zero-latency ops were handled above.
     if not _positive_cycle_exists(node_list, edges, 0):
-        return 0  # No cycle at all.
+        return 0  # No recurrence-constraining cycle.
     while high - low > 1:
         mid = (low + high) // 2
         if _positive_cycle_exists(node_list, edges, mid):

@@ -192,6 +192,29 @@ class Trace:
             owner = self._stack[-1].counters
             owner[name] = owner.get(name, 0) + n
 
+    def graft(self, other: "Trace", name: str = "worker",
+              **attrs: object) -> SpanNode:
+        """Absorb another trace — typically deserialized from a worker
+        process — into this one.
+
+        The other trace's root spans become children of a new synthetic
+        span (named ``name``, carrying ``attrs``) attached under this
+        trace's innermost open span, and its trace-wide counters fold
+        into this trace's aggregate.  Returns the synthetic host span.
+        """
+        host = SpanNode(name, dict(attrs),
+                        time.perf_counter() - self.epoch)
+        host.children = list(other.roots)
+        host.duration = sum(root.duration for root in other.roots)
+        if self._stack:
+            self._stack[-1].children.append(host)
+        else:
+            self.roots.append(host)
+        for counter_name, value in other.counters.items():
+            self.counters[counter_name] = \
+                self.counters.get(counter_name, 0) + value
+        return host
+
     # -- queries -------------------------------------------------------
     def counter(self, name: str) -> int:
         """Trace-wide value of one counter (0 when never incremented)."""

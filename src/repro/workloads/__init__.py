@@ -1,6 +1,7 @@
 """Loop workloads: synthetic suite, hand-written kernels, statistics."""
 
 from .corpus import dumps_corpus, load_corpus, loads_corpus, save_corpus
+from .fingerprint import ddg_fingerprint
 from .kernels import all_kernels, build_kernel, kernel_names
 from .stats import StatRow, SuiteStatistics, suite_statistics
 from .suite import DEFAULT_SEED, PAPER_SUITE_SIZE, paper_suite
@@ -15,6 +16,7 @@ __all__ = [
     "SuiteStatistics",
     "all_kernels",
     "build_kernel",
+    "ddg_fingerprint",
     "dumps_corpus",
     "generate_loop",
     "generate_suite",

@@ -1,0 +1,41 @@
+"""Stable content hashing for loop DDGs.
+
+The experiment engine's on-disk result cache and the unified-baseline
+duplicate guard both need a *content* identity for a loop: two graphs
+hash equal iff they would compile identically.  The fingerprint covers
+everything the compiler reads — node ids, opcodes, (possibly
+overridden) latencies, and the full edge list with distances — and
+nothing it does not (the loop's display name is deliberately excluded
+so a renamed-but-identical loop keeps its identity).
+
+Fingerprints are hex SHA-256 digests of a canonical JSON document, so
+they are stable across processes, Python versions, and hash seeds —
+safe to use as cache file names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..ddg.graph import Ddg
+
+
+def ddg_fingerprint(ddg: Ddg) -> str:
+    """Hex digest of the loop's compiler-visible content.
+
+    Node names are included (they are part of the canonical textual
+    format) but the loop's own ``name`` is not: identity follows the
+    graph, not the label.
+    """
+    doc = {
+        "nodes": [
+            [node.node_id, node.opcode.value, node.latency, node.name]
+            for node in ddg.nodes
+        ],
+        "edges": [
+            [edge.src, edge.dst, edge.distance] for edge in ddg.edges
+        ],
+    }
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

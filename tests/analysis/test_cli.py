@@ -91,6 +91,73 @@ class TestExperimentCommand:
         assert "experiment" in out
 
 
+class TestExperimentEngineFlags:
+    def test_workers_matches_serial_output(self, capsys):
+        import json
+
+        assert main(
+            ["experiment", "--machine", "2gp", "--loops", "12", "--json"]
+        ) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(
+            ["experiment", "--machine", "2gp", "--loops", "12",
+             "--workers", "2", "--json"]
+        ) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["histogram"] == serial["histogram"]
+        assert parallel["total_copies"] == serial["total_copies"]
+        assert parallel["n_failed"] == 0
+
+    def test_json_reports_failure_fields(self, capsys):
+        import json
+
+        assert main(
+            ["experiment", "--machine", "2gp", "--loops", "8", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_failed"] == 0
+        assert doc["cache_hits"] == 0
+        assert doc["baseline_seconds"] >= 0
+        assert "failures" not in doc
+
+    def test_cache_dir_and_resume_round_trip(self, tmp_path, capsys):
+        import json
+        import os
+
+        cache = str(tmp_path / "cache")
+        os.makedirs(cache)
+        args = ["experiment", "--machine", "2gp", "--loops", "10",
+                "--cache-dir", cache, "--resume", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache_hits"] == 0
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_hits"] == 10
+        assert second["histogram"] == first["histogram"]
+
+    def test_strict_flag_accepted_on_clean_suite(self, capsys):
+        assert main(
+            ["experiment", "--machine", "2gp", "--loops", "6",
+             "--workers", "2", "--strict"]
+        ) == 0
+        assert "match=" in capsys.readouterr().out
+
+    def test_timeout_flag_accepted(self, capsys):
+        assert main(
+            ["experiment", "--machine", "2gp", "--loops", "6",
+             "--timeout", "30"]
+        ) == 0
+        assert "match=" in capsys.readouterr().out
+
+    def test_campaign_accepts_engine_flags(self, capsys):
+        assert main(
+            ["campaign", "--loops", "8", "--skip-table3",
+             "--workers", "2"]
+        ) == 0
+        assert "Figure" in capsys.readouterr().out
+
+
 class TestTraceOutputs:
     def test_compile_trace_prints_span_tree(self, loop_file, capsys):
         assert main(["compile", loop_file, "--trace"]) == 0

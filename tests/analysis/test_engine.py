@@ -1,0 +1,288 @@
+"""The parallel fault-tolerant experiment engine."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.analysis import (
+    EngineOptions,
+    ExperimentError,
+    ResultCache,
+    STATUS_FAILED,
+    STATUS_TIMEOUT,
+    UnifiedBaseline,
+    outcome_cache_key,
+    run_engine_experiment,
+    run_experiment,
+)
+from repro.analysis.engine import (
+    config_fingerprint,
+    machine_fingerprint,
+)
+from repro.core import HEURISTIC_ITERATIVE, SIMPLE
+from repro.ddg import Opcode, build_ddg
+from repro.machine import two_cluster_gp, four_cluster_gp
+from repro.workloads import paper_suite
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return paper_suite(20)
+
+
+@pytest.fixture(scope="module")
+def slice50():
+    return paper_suite(50)
+
+
+def _bad_loop(name="bad_loop"):
+    """A malformed loop (zero-distance cycle) that cannot compile."""
+    return build_ddg(
+        ops=[("a", Opcode.ALU), ("b", Opcode.ALU)],
+        deps=[("a", "b", 0), ("b", "a", 0)],
+        name=name,
+    )
+
+
+class TestSerialParallelEquality:
+    def test_parallel_matches_serial_on_50_loops(self, slice50):
+        machine = two_cluster_gp()
+        serial = run_experiment(slice50, machine)
+        parallel = run_engine_experiment(
+            slice50, machine, options=EngineOptions(workers=4)
+        )
+        assert parallel.outcomes == serial.outcomes
+
+    def test_inline_engine_matches_serial(self, small_suite):
+        machine = four_cluster_gp()
+        serial = run_experiment(small_suite, machine)
+        inline = run_engine_experiment(small_suite, machine)
+        assert inline.outcomes == serial.outcomes
+
+    def test_equality_holds_with_injected_failure(self, small_suite):
+        machine = two_cluster_gp()
+        suite = (list(small_suite[:7]) + [_bad_loop()]
+                 + list(small_suite[7:14]))
+        serial = run_experiment(suite, machine)
+        parallel = run_engine_experiment(
+            suite, machine, options=EngineOptions(workers=3)
+        )
+        assert parallel.outcomes == serial.outcomes
+        assert parallel.n_failed == 1
+
+    def test_merge_preserves_suite_order(self, small_suite):
+        machine = two_cluster_gp()
+        result = run_engine_experiment(
+            small_suite, machine,
+            options=EngineOptions(workers=4, chunk_size=1),
+        )
+        assert [o.loop_name for o in result.outcomes] == [
+            loop.name for loop in small_suite
+        ]
+
+
+class TestWorkerFailurePaths:
+    def test_bad_loop_marked_failed_suite_completes(self, small_suite):
+        suite = list(small_suite[:6]) + [_bad_loop()]
+        result = run_engine_experiment(
+            suite, two_cluster_gp(), options=EngineOptions(workers=2)
+        )
+        assert result.n_loops == 7
+        assert [o.loop_name for o in result.failures] == ["bad_loop"]
+        assert result.failures[0].status == STATUS_FAILED
+        assert "invalid loop" in result.failures[0].error
+
+    def test_strict_mode_aborts_with_partial_result(self, small_suite):
+        suite = list(small_suite[:4]) + [_bad_loop()] + \
+            list(small_suite[4:8])
+        with pytest.raises(ExperimentError) as exc_info:
+            run_engine_experiment(
+                suite, two_cluster_gp(),
+                options=EngineOptions(workers=2, strict=True),
+            )
+        assert exc_info.value.loop_name == "bad_loop"
+        partial = exc_info.value.partial_result
+        assert partial.n_loops == 4
+        assert all(outcome.ok for outcome in partial.outcomes)
+
+    def test_compilation_error_recorded(self, small_suite, monkeypatch):
+        import repro.analysis.engine as engine_module
+        from repro.core import CompilationError
+
+        real = engine_module.compile_loop
+        doomed = small_suite[3].name
+
+        def flaky(ddg, machine, *args, **kwargs):
+            if ddg.name == doomed and not machine.is_unified:
+                raise CompilationError("injected")
+            return real(ddg, machine, *args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "compile_loop", flaky)
+        result = run_engine_experiment(
+            small_suite[:6], two_cluster_gp()
+        )
+        failed = result.failures
+        assert [o.loop_name for o in failed] == [doomed]
+        assert failed[0].status == STATUS_FAILED
+        # The unified baseline succeeded before the clustered failure.
+        assert failed[0].unified_ii > 0
+
+
+class TestTimeout:
+    def test_slow_loop_skipped_as_timeout(self, small_suite,
+                                          monkeypatch):
+        import time
+
+        import repro.analysis.engine as engine_module
+
+        real = engine_module.compile_loop
+        slow = small_suite[2].name
+
+        def sluggish(ddg, machine, *args, **kwargs):
+            if ddg.name == slow and not machine.is_unified:
+                time.sleep(0.5)
+            return real(ddg, machine, *args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "compile_loop", sluggish)
+        result = run_engine_experiment(
+            small_suite[:5], two_cluster_gp(),
+            options=EngineOptions(timeout_seconds=0.2),
+        )
+        assert result.n_loops == 5
+        assert [o.loop_name for o in result.failures] == [slow]
+        assert result.failures[0].status == STATUS_TIMEOUT
+        assert "budget" in result.failures[0].error
+
+    def test_no_budget_means_no_timeouts(self, small_suite):
+        result = run_engine_experiment(
+            small_suite[:5], two_cluster_gp(),
+            options=EngineOptions(timeout_seconds=0.0),
+        )
+        assert result.n_failed == 0
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, small_suite, tmp_path):
+        machine = two_cluster_gp()
+        options = EngineOptions(cache_dir=str(tmp_path), resume=True)
+        first = run_engine_experiment(small_suite[:8], machine,
+                                      options=options)
+        assert first.cache_hits == 0
+        assert len(os.listdir(tmp_path)) == 8
+        second = run_engine_experiment(small_suite[:8], machine,
+                                       options=options)
+        assert second.cache_hits == 8
+        assert second.outcomes == first.outcomes
+
+    def test_resume_only_computes_the_tail(self, small_suite, tmp_path):
+        machine = two_cluster_gp()
+        options = EngineOptions(cache_dir=str(tmp_path), resume=True)
+        run_engine_experiment(small_suite[:5], machine, options=options)
+        # An "interrupted" sweep restarted over a longer prefix of the
+        # same suite recomputes only the new loops.
+        result = run_engine_experiment(small_suite[:9], machine,
+                                       options=options)
+        assert result.cache_hits == 5
+        assert result.n_loops == 9
+        serial = run_experiment(small_suite[:9], machine)
+        assert result.outcomes == serial.outcomes
+
+    def test_without_resume_cache_is_write_only(self, small_suite,
+                                                tmp_path):
+        machine = two_cluster_gp()
+        write_only = EngineOptions(cache_dir=str(tmp_path))
+        run_engine_experiment(small_suite[:4], machine,
+                              options=write_only)
+        again = run_engine_experiment(small_suite[:4], machine,
+                                      options=write_only)
+        assert again.cache_hits == 0
+        assert len(os.listdir(tmp_path)) == 4
+
+    def test_key_depends_on_machine_and_config(self, small_suite):
+        loop = small_suite[0]
+        base = outcome_cache_key(loop, two_cluster_gp(),
+                                 HEURISTIC_ITERATIVE)
+        assert base == outcome_cache_key(loop, two_cluster_gp(),
+                                         HEURISTIC_ITERATIVE)
+        assert base != outcome_cache_key(loop, four_cluster_gp(),
+                                         HEURISTIC_ITERATIVE)
+        assert base != outcome_cache_key(loop, two_cluster_gp(), SIMPLE)
+        assert base != outcome_cache_key(
+            small_suite[1], two_cluster_gp(), HEURISTIC_ITERATIVE
+        )
+
+    def test_machine_fingerprint_sees_resources(self):
+        assert (machine_fingerprint(two_cluster_gp(buses=1))
+                != machine_fingerprint(two_cluster_gp(buses=2)))
+
+    def test_config_fingerprint_sees_knobs(self):
+        assert (config_fingerprint(SIMPLE)
+                != config_fingerprint(HEURISTIC_ITERATIVE))
+
+    def test_failed_outcomes_are_cached(self, tmp_path, small_suite):
+        machine = two_cluster_gp()
+        suite = list(small_suite[:3]) + [_bad_loop()]
+        options = EngineOptions(cache_dir=str(tmp_path), resume=True)
+        run_engine_experiment(suite, machine, options=options)
+        replay = run_engine_experiment(suite, machine, options=options)
+        assert replay.cache_hits == 4
+        assert replay.failures[0].status == STATUS_FAILED
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path, small_suite):
+        machine = two_cluster_gp()
+        options = EngineOptions(cache_dir=str(tmp_path), resume=True)
+        run_engine_experiment(small_suite[:3], machine, options=options)
+        for entry in os.listdir(tmp_path):
+            (tmp_path / entry).write_text("{not json")
+        result = run_engine_experiment(small_suite[:3], machine,
+                                       options=options)
+        assert result.cache_hits == 0
+        assert result.n_failed == 0
+
+    def test_cache_object_len(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert len(cache) == 0
+
+
+class TestBaselineSharing:
+    def test_parallel_run_seeds_shared_baseline(self, small_suite):
+        baseline = UnifiedBaseline()
+        machine = two_cluster_gp()
+        run_engine_experiment(
+            small_suite[:10], machine, baseline=baseline,
+            options=EngineOptions(workers=2),
+        )
+        assert len(baseline) == 10
+        # A second sweep entry of the same width reuses every entry.
+        reuse = run_engine_experiment(
+            small_suite[:10], machine, config=SIMPLE, baseline=baseline,
+            options=EngineOptions(workers=2),
+        )
+        assert reuse.baseline_seconds == 0.0
+
+
+class TestObsMerge:
+    def test_worker_counters_and_spans_merged(self, small_suite):
+        with obs.tracing() as trace:
+            run_engine_experiment(
+                small_suite[:10], two_cluster_gp(),
+                options=EngineOptions(workers=2),
+            )
+        assert trace.counter("experiment.loops") == 10
+        assert trace.counter("assign.placements") > 0
+        assert len(trace.find("loop")) == 10
+        assert len(trace.find("worker")) >= 1
+        # Worker spans hang off the parent experiment span.
+        experiment_span = trace.find("experiment")[0]
+        hosts = [child for child in experiment_span.children
+                 if child.name == "worker"]
+        assert hosts
+
+    def test_untraced_run_stays_untraced(self, small_suite):
+        result = run_engine_experiment(
+            small_suite[:4], two_cluster_gp(),
+            options=EngineOptions(workers=2),
+        )
+        assert obs.current_trace() is None
+        assert result.n_loops == 4

@@ -65,20 +65,63 @@ class TestFailurePaths:
         monkeypatch.setattr(experiment_module, "compile_loop", flaky)
         return doomed
 
-    def test_elapsed_set_on_failure(self, small_suite, failing_compile):
+    def test_lenient_records_failure_and_continues(self, small_suite,
+                                                   failing_compile):
+        result = run_experiment(small_suite[:5], two_cluster_gp())
+        assert result.n_loops == 5
+        assert result.n_failed == 1
+        failed = result.failures[0]
+        assert failed.loop_name == failing_compile
+        assert failed.status == "failed"
+        assert "injected failure" in failed.error
+        # The baseline II was computed before the clustered failure.
+        assert failed.unified_ii > 0
+        # Measured loops are unaffected, figures skip the failure.
+        assert len(result.measured) == 4
+        assert result.histogram.n_loops == 4
+
+    def test_lenient_records_malformed_loop(self, small_suite):
+        from repro.ddg import Opcode, build_ddg
+
+        bad = build_ddg(
+            ops=[("a", Opcode.ALU), ("b", Opcode.ALU)],
+            deps=[("a", "b", 0), ("b", "a", 0)],
+            name="zero_distance_cycle",
+        )
+        suite = list(small_suite[:3]) + [bad] + list(small_suite[3:5])
+        result = run_experiment(suite, two_cluster_gp())
+        assert result.n_loops == 6
+        assert [o.loop_name for o in result.failures] == [
+            "zero_distance_cycle"
+        ]
+        assert "invalid loop" in result.failures[0].error
+
+    def test_strict_elapsed_set_on_failure(self, small_suite,
+                                           failing_compile):
         with pytest.raises(ExperimentError) as exc_info:
-            run_experiment(small_suite[:5], two_cluster_gp())
+            run_experiment(small_suite[:5], two_cluster_gp(),
+                           strict=True)
         partial = exc_info.value.partial_result
         assert partial.elapsed_seconds > 0
         assert exc_info.value.loop_name == failing_compile
         # The two loops before the failure were measured.
         assert partial.n_loops == 2
+        assert all(outcome.ok for outcome in partial.outcomes)
 
-    def test_failure_is_still_a_compilation_error(self, small_suite,
-                                                  failing_compile):
+    def test_strict_failure_is_still_a_compilation_error(
+            self, small_suite, failing_compile):
         # Existing handlers that catch CompilationError keep working.
         with pytest.raises(CompilationError):
+            run_experiment(small_suite[:5], two_cluster_gp(),
+                           strict=True)
+
+    def test_failure_counter_bumped(self, small_suite, failing_compile):
+        from repro import obs
+
+        with obs.tracing() as trace:
             run_experiment(small_suite[:5], two_cluster_gp())
+        assert trace.counter("experiment.failures") == 1
+        assert trace.counter("experiment.loops") == 4
 
 
 class TestBaselineCache:
@@ -99,6 +142,40 @@ class TestBaselineCache:
         ddg = small_suite[0]
         cached = baseline.ii_for(ddg, unified)
         assert cached == compile_loop(ddg, unified).ii
+
+    def test_duplicate_name_different_content_rejected(self, small_suite):
+        baseline = UnifiedBaseline()
+        unified = two_cluster_gp().unified_equivalent()
+        first = small_suite[0]
+        impostor = small_suite[1].copy(name=first.name)
+        baseline.ii_for(first, unified)
+        with pytest.raises(ValueError, match="duplicate loop name"):
+            baseline.ii_for(impostor, unified)
+        with pytest.raises(ValueError, match="duplicate loop name"):
+            baseline.seed(unified.name, impostor, 3)
+
+    def test_same_loop_twice_is_fine(self, small_suite):
+        baseline = UnifiedBaseline()
+        unified = two_cluster_gp().unified_equivalent()
+        first = baseline.ii_for(small_suite[0], unified)
+        again = baseline.ii_for(small_suite[0].copy(), unified)
+        assert first == again
+        assert len(baseline) == 1
+
+    def test_baseline_time_tracked_separately(self, small_suite):
+        baseline = UnifiedBaseline()
+        machine = two_cluster_gp()
+        first = run_experiment(small_suite, machine, baseline=baseline)
+        assert first.baseline_seconds > 0
+        assert baseline.elapsed_seconds == pytest.approx(
+            first.baseline_seconds
+        )
+        # A second experiment reusing the cache pays no baseline time,
+        # so its elapsed_seconds is no longer skewed by cache misses
+        # charged to whichever experiment ran first.
+        second = run_experiment(small_suite, machine, config=SIMPLE,
+                                baseline=baseline)
+        assert second.baseline_seconds == 0.0
 
 
 class TestSweepAndComparison:

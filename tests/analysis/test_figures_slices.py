@@ -67,8 +67,8 @@ class TestCsvExports:
         csv = outcomes_to_csv(_result("A", [0, 2]))
         lines = csv.strip().splitlines()
         assert len(lines) == 3
-        assert lines[1] == "loop0,3,3,0,0"
-        assert lines[2] == "loop1,3,5,2,0"
+        assert lines[1] == "loop0,3,3,0,0,ok"
+        assert lines[2] == "loop1,3,5,2,0,ok"
 
 
 class TestSlices:

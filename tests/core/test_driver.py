@@ -35,6 +35,31 @@ class TestCompileLoop:
         result = compile_loop(chain3, two_gp, min_ii=5, verify=True)
         assert result.ii >= 5
 
+    def test_min_ii_override_reports_true_mii(self, chain3, two_gp):
+        # The recorded MII is the machine lower bound, not the
+        # overridden starting point (and is computed exactly once).
+        unified = two_gp.unified_equivalent()
+        result = compile_loop(chain3, two_gp, min_ii=5)
+        assert result.mii == mii(chain3, unified)
+        assert result.ii_over_mii == result.ii - result.mii
+
+    def test_mii_computed_once(self, chain3, two_gp, monkeypatch):
+        import repro.core.driver as driver_module
+
+        calls = []
+        real = driver_module.mii
+
+        def counting(ddg, machine):
+            calls.append(machine.name)
+            return real(ddg, machine)
+
+        monkeypatch.setattr(driver_module, "mii", counting)
+        compile_loop(chain3, two_gp, min_ii=3)
+        assert len(calls) == 1
+        calls.clear()
+        compile_loop(chain3, two_gp)
+        assert len(calls) == 1
+
     def test_starts_at_unified_mii(self, intro_example, two_gp):
         result = compile_loop(intro_example, two_gp)
         unified = two_gp.unified_equivalent()

@@ -8,6 +8,57 @@ from repro.ddg.opcodes import FuClass
 from repro.machine import two_cluster_fs, unified_fs, unified_gp
 
 
+class TestZeroLatencyCycles:
+    """Regression: a cycle whose ops all have latency 0 has weight 0 at
+    every candidate II, so the positive-cycle probes cannot see it.  A
+    zero-distance one used to be silently reported as acyclic instead
+    of rejected as unschedulable."""
+
+    @staticmethod
+    def _cycle(distance_back):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU, latency=0)
+        b = graph.add_node(Opcode.ALU, latency=0)
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=distance_back)
+        return graph
+
+    def test_zero_latency_zero_distance_cycle_rejected(self):
+        with pytest.raises(ValueError, match="zero total distance"):
+            rec_mii(self._cycle(distance_back=0))
+
+    def test_zero_latency_carried_cycle_imposes_no_bound(self):
+        # With distance >= 1 the recurrence bound is ceil(0 / 1) = 0:
+        # legitimate, and explicitly handled rather than accidental.
+        assert rec_mii(self._cycle(distance_back=1)) == 0
+
+    def test_zero_latency_cycle_beside_a_real_recurrence(self):
+        graph = self._cycle(distance_back=1)
+        c = graph.add_node(Opcode.FP_MULT)  # latency 3
+        d = graph.add_node(Opcode.FP_ADD)   # latency 1
+        graph.add_edge(c, d, distance=0)
+        graph.add_edge(d, c, distance=1)
+        # The positive-latency cycle still dominates: (3 + 1) / 1 = 4.
+        assert rec_mii(graph) == 4
+
+    def test_zero_latency_node_on_positive_cycle_still_counted(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU, latency=0)
+        b = graph.add_node(Opcode.FP_MULT)  # latency 3
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=1)
+        assert rec_mii(graph) == 3
+
+    def test_mixed_latency_zero_distance_cycle_still_rejected(self):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU, latency=0)
+        b = graph.add_node(Opcode.ALU)  # latency 1
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=0)
+        with pytest.raises(ValueError, match="zero total distance"):
+            rec_mii(graph)
+
+
 class TestRecMii:
     def test_paper_intro_example(self, intro_example):
         # RecMII = (1 + 2 + 1) / 1 = 4 per the paper's Section 3.
