@@ -18,6 +18,12 @@ from repro.workloads import paper_suite
 DEFAULT_BENCH_SUITE_SIZE = 250
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def bench_suite_size() -> int:
     """Suite size for benchmark runs (env-overridable)."""
     return int(os.environ.get("REPRO_SUITE_SIZE", DEFAULT_BENCH_SUITE_SIZE))

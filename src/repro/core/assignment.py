@@ -22,8 +22,9 @@ was found at this II.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..ddg.graph import Ddg
 from ..ddg.transform import AnnotatedDdg, trivial_annotation
@@ -87,19 +88,38 @@ class _Assigner:
             n: set() for n in ddg.node_ids
         }
         self.budget = max(config.budget_ratio * len(ddg), len(ddg) + 1)
+        # Rank-keyed work heap over ``unassigned`` (lazy invalidation:
+        # evicted nodes are pushed back, stale pops are skipped).  Ranks
+        # are unique, so popping matches a min-scan bit for bit.
+        self._ready: List[Tuple[int, int]] = [
+            (self.order.priority_of(n), n) for n in self.order.order
+        ]
+        # Opcode resources per (node, cluster) are invariant across the
+        # attempt; cache them (including structural impossibility).
+        self._op_keys_cache: Dict[
+            Tuple[int, int], Optional[List[ResourceKey]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Small helpers
     # ------------------------------------------------------------------
     def _op_keys(self, node_id: int, cluster: int) -> Optional[List[ResourceKey]]:
         """Issue-slot keys of a node on a cluster; None when the cluster
-        structurally cannot execute the opcode."""
+        structurally cannot execute the opcode.  Cached per attempt; the
+        returned list is shared and must not be mutated."""
+        cache_key = (node_id, cluster)
         try:
-            return self.machine.op_resources(
+            return self._op_keys_cache[cache_key]
+        except KeyError:
+            pass
+        try:
+            keys = self.machine.op_resources(
                 self.ddg.node(node_id).opcode, cluster
             )
         except ValueError:
-            return None
+            keys = None
+        self._op_keys_cache[cache_key] = keys
+        return keys
 
     def _scc_partner_on(self, node_id: int, cluster: int) -> bool:
         """Is another member of the node's SCC already on ``cluster``?"""
@@ -218,6 +238,9 @@ class _Assigner:
         self.nodes_on[cluster].discard(node_id)
         self.routing.unassign_unplanned(node_id)
         self.unassigned.add(node_id)
+        heapq.heappush(
+            self._ready, (self.order.priority_of(node_id), node_id)
+        )
         self.stats.evictions += 1
         obs_count("assign.evictions")
         for producer in self.routing.affected_producers(node_id):
@@ -321,7 +344,10 @@ class _Assigner:
                 return None
             self.budget -= 1
             obs_count("assign.budget_spent")
-            node_id = min(self.unassigned, key=self.order.priority_of)
+            while True:
+                _, node_id = heapq.heappop(self._ready)
+                if node_id in self.unassigned:
+                    break
             candidates = [
                 self.evaluate(node_id, cluster)
                 for cluster in self.machine.cluster_indices

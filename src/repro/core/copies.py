@@ -137,6 +137,7 @@ class RoutingSnapshot:
 
     cluster_of: Dict[int, int]
     plans: Dict[int, CopyPlan]
+    total_copies: int = -1  # -1: recompute on restore (legacy snapshots)
 
 
 class RoutingState:
@@ -159,26 +160,34 @@ class RoutingState:
         self.share_broadcast = share_broadcast
         self.cluster_of: Dict[int, int] = {}
         self._plans: Dict[int, CopyPlan] = {}
-        # Value-edge adjacency, precomputed once: producer -> consumers and
-        # consumer -> producers, considering only register (value) edges.
-        self._value_consumers: Dict[int, List[int]] = {}
-        self._value_producers: Dict[int, List[int]] = {}
-        for node_id in ddg.node_ids:
-            self._value_consumers[node_id] = []
-            self._value_producers[node_id] = []
-        for edge in ddg.edges:
-            if edge.src == edge.dst:
-                continue  # a self-dependence never crosses clusters
-            if not ddg.node(edge.src).produces_value:
-                continue  # memory/control ordering edge: no copy ever
-            if edge.dst not in self._value_consumers[edge.src]:
-                self._value_consumers[edge.src].append(edge.dst)
-            if edge.src not in self._value_producers[edge.dst]:
-                self._value_producers[edge.dst].append(edge.src)
+        self._total_copies = 0
+        # Value-edge adjacency — producer -> consumers and consumer ->
+        # producers over register (value) edges only, excluding
+        # self-dependences (which never cross clusters).  Taken from the
+        # compiled DDG view: the driver re-runs assignment at every
+        # candidate II, and this fan-out is II-invariant.  The tuples are
+        # shared and read-only.
+        view = ddg.view()
+        self._produces_value = view.produces_value
+        self._value_consumers = view.value_consumers
+        self._value_producers = view.value_producers
+        # (producer cluster, needed clusters) -> (specs, resources).  A
+        # plan's shape is independent of the producer's identity, and the
+        # same few cluster patterns recur throughout an assignment run's
+        # tentative/evict/replan churn.  Only successful plans are cached
+        # (a CopyRoutingError must re-raise on every attempt).
+        self._plan_cache: Dict[
+            Tuple[int, frozenset],
+            Tuple[Tuple[CopySpec, ...], Tuple[ResourceKey, ...]],
+        ] = {}
 
     # ------------------------------------------------------------------
     # Value-flow queries
     # ------------------------------------------------------------------
+    def produces_value(self, node_id: int) -> bool:
+        """True when ``node_id`` writes a register result."""
+        return self._produces_value[node_id]
+
     def value_consumers(self, producer: int) -> List[int]:
         """Distinct nodes consuming ``producer``'s register value."""
         return list(self._value_consumers[producer])
@@ -213,7 +222,7 @@ class RoutingState:
 
     def total_copies(self) -> int:
         """Total copy operations implied by the current assignment."""
-        return sum(plan.copy_count for plan in self._plans.values())
+        return self._total_copies
 
     def plans(self) -> Dict[int, CopyPlan]:
         """Producer -> current plan (only producers with copies)."""
@@ -225,7 +234,7 @@ class RoutingState:
     def affected_producers(self, node_id: int) -> List[int]:
         """Producers whose plan may change when ``node_id`` (re)moves."""
         affected = []
-        if self.ddg.node(node_id).produces_value:
+        if self._produces_value[node_id]:
             affected.append(node_id)
         for producer in self._value_producers[node_id]:
             if producer not in affected:
@@ -242,16 +251,25 @@ class RoutingState:
         obs_count("copies.replans")
         old = self._plans.pop(producer, None)
         if old is not None:
+            self._total_copies -= len(old.specs)
             self.pools.release(old.resources)
         if producer not in self.cluster_of:
             return
-        plan = plan_copies(
-            self.machine,
-            producer,
-            self.cluster_of[producer],
-            self.needed_clusters(producer),
-            share_broadcast=self.share_broadcast,
-        )
+        home = self.cluster_of[producer]
+        key = (home, frozenset(self.needed_clusters(producer)))
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            template = plan_copies(
+                self.machine,
+                producer,
+                home,
+                set(key[1]),
+                share_broadcast=self.share_broadcast,
+            )
+            cached = (template.specs, template.resources)
+            self._plan_cache[key] = cached
+        plan = CopyPlan(producer=producer, specs=cached[0],
+                        resources=cached[1])
         if not plan.specs:
             return
         try:
@@ -260,6 +278,7 @@ class RoutingState:
             obs_count("copies.replan_failures")
             raise
         self._plans[producer] = plan
+        self._total_copies += len(plan.specs)
 
     def assign_unplanned(self, node_id: int, cluster: int) -> None:
         """Record an assignment *without* replanning any copies.
@@ -317,10 +336,18 @@ class RoutingState:
     def snapshot(self) -> RoutingSnapshot:
         """Capture cluster map + plans for rollback."""
         return RoutingSnapshot(
-            cluster_of=dict(self.cluster_of), plans=dict(self._plans)
+            cluster_of=dict(self.cluster_of),
+            plans=dict(self._plans),
+            total_copies=self._total_copies,
         )
 
     def restore(self, snap: RoutingSnapshot) -> None:
         """Roll back to ``snap`` (pair with ``pools.restore``)."""
         self.cluster_of = dict(snap.cluster_of)
         self._plans = dict(snap.plans)
+        if snap.total_copies >= 0:
+            self._total_copies = snap.total_copies
+        else:
+            self._total_copies = sum(
+                plan.copy_count for plan in self._plans.values()
+            )

@@ -33,7 +33,7 @@ def upper_bound(
     machine: Machine, routing: RoutingState, node_id: int
 ) -> int:
     """Worst-case additional copies node ``node_id`` could still need."""
-    if not routing.ddg.node(node_id).produces_value:
+    if not routing.produces_value(node_id):
         return 0
     rc = routing.required_copies(node_id)
     if machine.interconnect.broadcast:
@@ -46,14 +46,33 @@ def predicted_copy_requests(
     routing: RoutingState,
     nodes_on_cluster: "set[int]",
 ) -> int:
-    """PCR of one cluster given the nodes currently assigned to it."""
+    """PCR of one cluster given the nodes currently assigned to it.
+
+    Inlines :func:`upper_bound` and the unassigned-consumer count over
+    the routing state's internals: the selection heuristic evaluates this
+    for every candidate cluster of every node, making it one of the
+    hottest loops of the assignment phase.
+    """
+    base = 1 if machine.interconnect.broadcast else machine.n_clusters - 1
+    if base <= 0:
+        return 0
+    produces = routing._produces_value
+    plans = routing._plans
+    consumers = routing._value_consumers
+    cluster_of = routing.cluster_of
     total = 0
     for node_id in nodes_on_cluster:
-        bound = upper_bound(machine, routing, node_id)
-        if bound == 0:
+        if not produces[node_id]:
             continue
-        unassigned = routing.unassigned_value_consumers(node_id)
-        total += min(bound, unassigned)
+        plan = plans.get(node_id)
+        bound = base if plan is None else base - len(plan.specs)
+        if bound <= 0:
+            continue
+        unassigned = 0
+        for consumer in consumers[node_id]:
+            if consumer not in cluster_of:
+                unassigned += 1
+        total += unassigned if unassigned < bound else bound
     return total
 
 

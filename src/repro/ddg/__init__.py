@@ -1,7 +1,15 @@
 """Loop data dependence graphs: operations, edges, SCCs, MII."""
 
 from .graph import Ddg, Edge, Node, build_ddg
-from .mii import mii, op_demand, rec_mii, rec_mii_of_subgraph, res_mii
+from .mii import (
+    mii,
+    op_demand,
+    rec_mii,
+    rec_mii_exceeds,
+    rec_mii_of_subgraph,
+    res_mii,
+)
+from .view import DdgView, scc_components
 from .opcodes import (
     FuClass,
     Opcode,
@@ -19,6 +27,7 @@ from .transform import AnnotatedDdg, trivial_annotation
 __all__ = [
     "AnnotatedDdg",
     "Ddg",
+    "DdgView",
     "Edge",
     "FuClass",
     "Node",
@@ -40,7 +49,9 @@ __all__ = [
     "parse_loop",
     "produces_value",
     "rec_mii",
+    "rec_mii_exceeds",
     "rec_mii_of_subgraph",
     "res_mii",
+    "scc_components",
     "trivial_annotation",
 ]

@@ -86,6 +86,9 @@ class Ddg:
         self._succs: Dict[int, List[Edge]] = {}
         self._preds: Dict[int, List[Edge]] = {}
         self._next_id = 0
+        # Mutation version / compiled-view cache (see repro.ddg.view).
+        self._version = 0
+        self._view = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -108,6 +111,7 @@ class Ddg:
         self._nodes[node_id] = node
         self._succs[node_id] = []
         self._preds[node_id] = []
+        self._version += 1
         return node_id
 
     def add_edge(self, src: int, dst: int, distance: int = 0) -> Edge:
@@ -120,6 +124,7 @@ class Ddg:
         self._edges.append(edge)
         self._succs[src].append(edge)
         self._preds[dst].append(edge)
+        self._version += 1
         return edge
 
     # ------------------------------------------------------------------
@@ -162,21 +167,18 @@ class Ddg:
         return list(self._preds[node_id])
 
     def successors(self, node_id: int) -> List[int]:
-        """Distinct successor node ids of ``node_id`` (excluding self-loops
-        counted once per distinct target)."""
-        seen = []
-        for edge in self._succs[node_id]:
-            if edge.dst not in seen:
-                seen.append(edge.dst)
-        return seen
+        """Distinct successor node ids of ``node_id`` in first-occurrence
+        order (an ordered-set dedup: linear even for high fan-out)."""
+        return list(dict.fromkeys(
+            edge.dst for edge in self._succs[node_id]
+        ))
 
     def predecessors(self, node_id: int) -> List[int]:
-        """Distinct predecessor node ids of ``node_id``."""
-        seen = []
-        for edge in self._preds[node_id]:
-            if edge.src not in seen:
-                seen.append(edge.src)
-        return seen
+        """Distinct predecessor node ids of ``node_id`` in
+        first-occurrence order."""
+        return list(dict.fromkeys(
+            edge.src for edge in self._preds[node_id]
+        ))
 
     def edge_count(self) -> int:
         """Total number of dependence edges."""
@@ -193,6 +195,24 @@ class Ddg:
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every ``add_node``/``add_edge``."""
+        return self._version
+
+    def view(self):
+        """The compiled :class:`~repro.ddg.view.DdgView` of this graph.
+
+        Cached until the next mutation; all derived-structure consumers
+        (metrics, SMS ordering, SCCs, RecMII, the scheduler) share one
+        instance per graph version.
+        """
+        view = self._view
+        if view is None or view.version != self._version:
+            from .view import build_view
+            view = self._view = build_view(self, self._version)
+        return view
+
     def to_networkx(self) -> nx.MultiDiGraph:
         """Export as a :class:`networkx.MultiDiGraph`.
 

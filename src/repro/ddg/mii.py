@@ -3,28 +3,43 @@
 ``MII = max(RecMII, ResMII)`` (paper Section 3):
 
 * **RecMII** — the recurrence-constrained minimum: the maximum over all
-  dependence cycles of ``ceil(sum(latencies) / sum(distances))``.  We find
-  it by binary search over integer candidate IIs: a candidate ``II`` is
-  feasible iff the graph with edge weights ``latency(src) - II * distance``
-  has no strictly positive cycle, which Bellman–Ford-style longest-path
-  relaxation detects in ``O(V * E)``.
+  dependence cycles of ``ceil(sum(latencies) / sum(distances))``.  Every
+  cycle lives inside a strongly connected component, so the whole-graph
+  RecMII is the max over per-SCC answers; each SCC is resolved by binary
+  search over integer candidate IIs, where a candidate ``II`` is feasible
+  iff the subgraph with edge weights ``latency(src) - II * distance`` has
+  no strictly positive cycle (Bellman–Ford-style longest-path relaxation,
+  ``O(V * E)`` per probe).
 * **ResMII** — the resource-constrained minimum: for each resource class,
   ``ceil(uses / capacity)``, maximized over classes.  Function units are
   fully pipelined (one issue slot per operation regardless of latency),
   matching the paper's ``ResMII = ops / width`` example.
 
-RecMII is a property of the graph alone; ResMII needs a machine
-description, so :func:`res_mii` accepts any object exposing the small
-``issue_capacity`` protocol implemented by
+RecMII is a property of the graph alone and is therefore *memoized* on
+the graph's compiled view (:mod:`repro.ddg.view`), keyed by the SCC node
+set: the Figure-5 driver probes the same graph at many candidate IIs, and
+every probe after the first is a cache hit (``mii.recmii_cache_hits``).
+Threshold queries (:func:`rec_mii_exceeds`) cost a single positive-cycle
+probe per SCC and record the resulting infeasible/feasible bounds, which
+warm-start the binary search when an exact value is needed later.
+
+ResMII needs a machine description, so :func:`res_mii` accepts any object
+exposing the small ``issue_capacity`` protocol implemented by
 :class:`repro.machine.machine.Machine`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
+from ..obs.trace import count as obs_count
 from .graph import Ddg
-from .opcodes import FuClass, Opcode
+from .opcodes import FuClass
+from .view import DdgView, scc_components
+
+_ZERO_DISTANCE_CYCLE = (
+    "dependence cycle with zero total distance: graph is unschedulable"
+)
 
 
 def _positive_cycle_exists(
@@ -85,69 +100,166 @@ def _cycle_exists(nodes: List[int], arcs: List[Tuple[int, int]]) -> bool:
 
 
 def _subgraph_edges(
-    ddg: Ddg, nodes: Set[int]
+    ddg: Ddg, nodes: Iterable[int]
 ) -> List[Tuple[int, int, int, int]]:
-    """Edges of ``ddg`` with both endpoints in ``nodes``."""
+    """Edges of ``ddg`` with both endpoints in ``nodes``, as
+    ``(src, dst, latency(src), distance)`` tuples."""
     node_set = set(nodes)
-    edges = []
-    for edge in ddg.edges:
-        if edge.src in node_set and edge.dst in node_set:
-            edges.append(
-                (edge.src, edge.dst, ddg.latency(edge.src), edge.distance)
-            )
-    return edges
+    return [
+        spec
+        for spec in ddg.view().edge_array
+        if spec[0] in node_set and spec[1] in node_set
+    ]
+
+
+def _validate_subgraph(
+    view: DdgView,
+    key: FrozenSet[int],
+    node_list: List[int],
+    edges: List[Tuple[int, int, int, int]],
+    upper: int,
+) -> None:
+    """Reject zero-total-distance cycles once per (version, node set).
+
+    At II = sum-of-latencies any cycle with total distance >= 1 has
+    non-positive weight, so a positive cycle there means a cycle with
+    zero total distance: malformed input.  A cycle made entirely of
+    zero-latency ops has weight 0 at *every* II, so the positive-cycle
+    probes are blind to it; with zero total distance it is a
+    same-iteration self-dependence — unschedulable — and must be rejected
+    explicitly (zero-latency cycles with distance >= 1 impose no bound
+    and are legitimately ignored).
+
+    Successful validation seeds the search bounds: ``upper`` is known
+    feasible, nothing is yet known infeasible.
+    """
+    if key in view.recmii_validated:
+        return
+    if _positive_cycle_exists(node_list, edges, upper):
+        raise ValueError(_ZERO_DISTANCE_CYCLE)
+    if _cycle_exists(
+        node_list,
+        [(src, dst) for src, dst, latency, distance in edges
+         if latency == 0 and distance == 0],
+    ):
+        raise ValueError(_ZERO_DISTANCE_CYCLE)
+    view.recmii_validated.add(key)
+    view.recmii_bounds.setdefault(key, (-1, upper))
 
 
 def rec_mii_of_subgraph(ddg: Ddg, nodes: Iterable[int]) -> int:
     """RecMII contributed by the cycles inside ``nodes``.
 
     Returns 0 when the subgraph is acyclic (imposes no recurrence bound).
+    Memoized per (graph version, node set); a binary search resumes from
+    any bounds previously recorded by :func:`rec_mii_exceeds` probes.
     """
+    view = ddg.view()
+    key = frozenset(nodes)
+    cached = view.recmii_exact.get(key)
+    if cached is not None:
+        obs_count("mii.recmii_cache_hits")
+        return cached
     node_list = list(nodes)
-    edges = _subgraph_edges(ddg, set(node_list))
+    edges = _subgraph_edges(ddg, key)
     if not edges:
+        view.recmii_exact[key] = 0
         return 0
-    upper = max(sum(ddg.latency(n) for n in node_list), 1)
-    # At II = sum-of-latencies any cycle with total distance >= 1 has
-    # non-positive weight, so a positive cycle there means a cycle with
-    # zero total distance: malformed input.
-    if _positive_cycle_exists(node_list, edges, upper):
-        raise ValueError(
-            "dependence cycle with zero total distance: graph is unschedulable"
-        )
-    # A cycle made entirely of zero-latency ops has weight 0 at *every*
-    # II, so the positive-cycle probes are blind to it.  With zero total
-    # distance it is a same-iteration self-dependence — unschedulable —
-    # and must be rejected here explicitly (the probe above only catches
-    # zero-distance cycles of positive total latency).  A zero-latency
-    # cycle with distance >= 1 bounds II >= ceil(0 / d) = 0, i.e. it
-    # imposes no recurrence constraint and is legitimately ignored.
-    if _cycle_exists(
-        node_list,
-        [(src, dst) for src, dst, latency, distance in edges
-         if latency == 0 and distance == 0],
-    ):
-        raise ValueError(
-            "dependence cycle with zero total distance: graph is unschedulable"
-        )
-    low, high = 0, upper
-    # Invariant: high is feasible, low is infeasible.  II = 0 is
-    # infeasible exactly when some cycle has positive total latency;
-    # cycles of only zero-latency ops were handled above.
-    if not _positive_cycle_exists(node_list, edges, 0):
-        return 0  # No recurrence-constraining cycle.
+    upper = max(sum(view.latency[n] for n in node_list), 1)
+    _validate_subgraph(view, key, node_list, edges, upper)
+    # Invariant: a positive cycle exists at ``low`` (low == -1 stands for
+    # "nothing known infeasible"), none exists at ``high``.
+    low, high = view.recmii_bounds[key]
+    if low < 0:
+        if not _positive_cycle_exists(node_list, edges, 0):
+            view.recmii_exact[key] = 0
+            view.recmii_bounds.pop(key, None)
+            return 0  # No recurrence-constraining cycle.
+        low = 0
     while high - low > 1:
         mid = (low + high) // 2
         if _positive_cycle_exists(node_list, edges, mid):
             low = mid
         else:
             high = mid
+    view.recmii_exact[key] = high
+    view.recmii_bounds.pop(key, None)
     return high
 
 
 def rec_mii(ddg: Ddg) -> int:
-    """RecMII of the whole graph (max over its dependence cycles)."""
-    return rec_mii_of_subgraph(ddg, ddg.node_ids)
+    """RecMII of the whole graph (max over its dependence cycles).
+
+    Computed as the max over the graph's non-trivial SCCs — cycles cannot
+    cross SCC boundaries — so each component's (memoized) answer is
+    shared with the SCC criticality ordering and the scheduler's
+    feasibility checks.
+    """
+    bound = 0
+    for component in scc_components(ddg):
+        bound = max(bound, rec_mii_of_subgraph(ddg, component))
+    return bound
+
+
+def rec_mii_exceeds(ddg: Ddg, ii: int) -> bool:
+    """True exactly when ``rec_mii(ddg) > ii``, at threshold-query cost.
+
+    Instead of resolving every SCC's exact RecMII, each SCC is probed
+    once at ``ii`` (one Bellman–Ford pass set) unless a memoized exact
+    value or previously recorded bound already decides it.  Probe results
+    are stored as (infeasible, feasible) bounds so a later exact
+    :func:`rec_mii_of_subgraph` binary search starts warm.
+
+    Malformed graphs (zero-total-distance cycles) raise :class:`ValueError`
+    from *every* component before any early exit, matching the exact
+    computation's behavior.
+    """
+    view = ddg.view()
+    components = scc_components(ddg)
+    undecided = []
+    for key in components:
+        if key in view.recmii_exact:
+            continue
+        node_list = list(key)
+        edges = _subgraph_edges(ddg, key)
+        if not edges:  # pragma: no cover - non-trivial SCCs have edges
+            view.recmii_exact[key] = 0
+            continue
+        upper = max(sum(view.latency[n] for n in node_list), 1)
+        _validate_subgraph(view, key, node_list, edges, upper)
+        undecided.append((key, node_list, edges))
+
+    exceeds = False
+    for key in components:
+        cached = view.recmii_exact.get(key)
+        if cached is not None:
+            obs_count("mii.recmii_cache_hits")
+            if cached > ii:
+                exceeds = True
+                break
+    if not exceeds:
+        for key, node_list, edges in undecided:
+            low, high = view.recmii_bounds[key]
+            if low >= ii:
+                obs_count("mii.recmii_cache_hits")
+                exceeds = True
+                break
+            if high <= ii:
+                obs_count("mii.recmii_cache_hits")
+                continue
+            if _positive_cycle_exists(node_list, edges, ii):
+                low = ii
+            else:
+                high = ii
+            if high == 0 or (high - low == 1 and low >= 0):
+                view.recmii_exact[key] = high
+                view.recmii_bounds.pop(key, None)
+            else:
+                view.recmii_bounds[key] = (low, high)
+            if low == ii:
+                exceeds = True
+                break
+    return exceeds
 
 
 def op_demand(ddg: Ddg) -> Dict[FuClass, int]:

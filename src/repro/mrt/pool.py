@@ -42,6 +42,33 @@ class ResourcePools:
             for key, per_cycle in machine.resource_capacities().items()
         }
         self._used: Dict[ResourceKey, int] = {key: 0 for key in self._capacity}
+        # Per-cluster key lists, precomputed once: the selection heuristic
+        # calls the cluster-level summaries thousands of times per II and
+        # the key-shape scans are invariant.
+        self._issue_keys: Dict[int, List[ResourceKey]] = {}
+        self._channel_keys: Dict[int, List[ResourceKey]] = {}
+        for cluster_index in machine.cluster_indices:
+            self._issue_keys[cluster_index] = [
+                key
+                for key in self._capacity
+                if (
+                    isinstance(key, tuple)
+                    and len(key) == 3
+                    and key[0] == "issue"
+                    and key[1] == cluster_index
+                )
+            ]
+            channel_keys = []
+            for key in machine.interconnect.channel_resources():
+                if key == "bus":
+                    channel_keys.append(key)
+                elif (
+                    isinstance(key, tuple)
+                    and key[0] == "link"
+                    and cluster_index in key[1:]
+                ):
+                    channel_keys.append(key)
+            self._channel_keys[cluster_index] = channel_keys
 
     # ------------------------------------------------------------------
     # Queries
@@ -67,13 +94,15 @@ class ResourcePools:
 
         ``keys`` may repeat a key; repetitions demand multiple slots.
         """
+        used = self._used
+        capacity = self._capacity
         demand: Dict[ResourceKey, int] = {}
         for key in keys:
             demand[key] = demand.get(key, 0) + 1
-        return all(
-            self._used[key] + count <= self._capacity[key]
-            for key, count in demand.items()
-        )
+        for key, count in demand.items():
+            if used[key] + count > capacity[key]:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Mutation
@@ -119,16 +148,12 @@ class ResourcePools:
     # ------------------------------------------------------------------
     def free_issue_slots(self, cluster_index: int) -> int:
         """Free function-unit slots on one cluster (all classes pooled)."""
-        total = 0
-        for key in self._capacity:
-            if (
-                isinstance(key, tuple)
-                and len(key) == 3
-                and key[0] == "issue"
-                and key[1] == cluster_index
-            ):
-                total += self.free(key)
-        return total
+        capacity = self._capacity
+        used = self._used
+        return sum(
+            capacity[key] - used[key]
+            for key in self._issue_keys[cluster_index]
+        )
 
     def free_cluster_slots(self, cluster_index: int) -> int:
         """Free slots of every pool local to one cluster (issue + ports).
@@ -148,15 +173,12 @@ class ResourcePools:
         For buses this is the free bus slots; for point-to-point fabrics it
         is the sum of free slots on links incident to the cluster.
         """
-        interconnect = self.machine.interconnect
-        total = 0
-        for key, per_cycle in interconnect.channel_resources().items():
-            if key == "bus":
-                total += self.free(key)
-            elif isinstance(key, tuple) and key[0] == "link":
-                if cluster_index in key[1:]:
-                    total += self.free(key)
-        return total
+        capacity = self._capacity
+        used = self._used
+        return sum(
+            capacity[key] - used[key]
+            for key in self._channel_keys[cluster_index]
+        )
 
     def max_reservable_copies(self, cluster_index: int) -> int:
         """MRC_C — room for additional copies out of cluster C.

@@ -6,15 +6,38 @@ The table tracks, per resource key and row, which operations hold slots,
 which lets the iterative scheduler both test availability and identify the
 holders it must displace when forcing a placement (Rau's iterative modulo
 scheduling).
+
+Occupancy is maintained twice, on purpose:
+
+* per-(key, row) integer counters (``_usage``: one row-indexed array per
+  key), which make availability probes a few integer compares — the
+  scheduler probes up to II cycles per placement, so this is the hottest
+  query in the pipeline;
+* per-(key, row) holder lists (``_slots``), consulted only by
+  :meth:`conflicting_ops` and :meth:`remove` to identify displacement
+  victims.
+
+Callers on the hot path pre-compile each operation's resource demand once
+per scheduling attempt with :meth:`compile_demand` and probe with
+:meth:`probe`; :meth:`available` keeps the one-shot API.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
 from ..machine.machine import Machine, ResourceKey
 
 OpId = Hashable
+
+#: One key's pre-resolved probe inputs: (row-usage array, capacity, slots
+#: demanded).  See :meth:`ModuloReservationTable.compile_demand`.
+DemandProfile = List[Tuple[List[int], int, int]]
+
+#: Debug flag: force full availability re-validation inside every
+#: ``place`` call even when the caller opted out (``check=False``).
+_FORCE_VALIDATE = bool(os.environ.get("REPRO_MRT_VALIDATE"))
 
 
 class ModuloReservationTable:
@@ -26,8 +49,13 @@ class ModuloReservationTable:
         self.machine = machine
         self.ii = ii
         self._capacity: Dict[ResourceKey, int] = machine.resource_capacities()
-        # (key, row) -> list of op ids holding a slot there.
+        # (key, row) -> list of op ids holding a slot there.  Entries are
+        # removed as soon as their list empties.
         self._slots: Dict[Tuple[ResourceKey, int], List[OpId]] = {}
+        # key -> per-row occupancy counters (len == II).
+        self._usage: Dict[ResourceKey, List[int]] = {
+            key: [0] * ii for key in self._capacity
+        }
         # op id -> list of (key, row) it holds.
         self._held: Dict[OpId, List[Tuple[ResourceKey, int]]] = {}
 
@@ -38,21 +66,38 @@ class ModuloReservationTable:
     def _occupancy(self, key: ResourceKey, row: int) -> List[OpId]:
         return self._slots.get((key, row), [])
 
-    def available(
-        self, keys: Iterable[ResourceKey], cycle: int
-    ) -> bool:
-        """True when one slot of every key is free in ``cycle``'s row."""
-        row = self.row(cycle)
+    def compile_demand(self, keys: Iterable[ResourceKey]) -> DemandProfile:
+        """Pre-resolve a resource demand multiset for repeated probing.
+
+        Aggregates duplicate keys and binds each to its usage array and
+        capacity, so :meth:`probe` touches no dictionaries.  The profile
+        stays valid for this table's lifetime (usage arrays are updated
+        in place by :meth:`place`/:meth:`remove`).
+        """
         demand: Dict[ResourceKey, int] = {}
         for key in keys:
             demand[key] = demand.get(key, 0) + 1
+        profile: DemandProfile = []
         for key, count in demand.items():
             capacity = self._capacity.get(key)
             if capacity is None:
                 raise KeyError(f"unknown resource key {key!r}")
-            if len(self._occupancy(key, row)) + count > capacity:
+            profile.append((self._usage[key], capacity, count))
+        return profile
+
+    def probe(self, profile: DemandProfile, cycle: int) -> bool:
+        """True when ``profile``'s demand fits in ``cycle``'s row."""
+        row = cycle % self.ii
+        for usage, capacity, count in profile:
+            if usage[row] + count > capacity:
                 return False
         return True
+
+    def available(
+        self, keys: Iterable[ResourceKey], cycle: int
+    ) -> bool:
+        """True when one slot of every key is free in ``cycle``'s row."""
+        return self.probe(self.compile_demand(keys), cycle)
 
     def conflicting_ops(
         self, keys: Iterable[ResourceKey], cycle: int
@@ -76,13 +121,27 @@ class ModuloReservationTable:
         return conflicting
 
     def place(
-        self, op_id: OpId, keys: Iterable[ResourceKey], cycle: int
+        self,
+        op_id: OpId,
+        keys: Iterable[ResourceKey],
+        cycle: int,
+        check: bool = True,
     ) -> None:
-        """Reserve one slot of each key at ``cycle`` for ``op_id``."""
+        """Reserve one slot of each key at ``cycle`` for ``op_id``.
+
+        ``check=False`` skips the availability re-validation for callers
+        that already probed (the scheduler displaces every conflicting op
+        before placing, so the fit is guaranteed); set the
+        ``REPRO_MRT_VALIDATE`` environment variable to force validation
+        everywhere when debugging.  The independent schedule validator
+        (:mod:`repro.scheduling.verify`) re-checks capacities regardless.
+        """
         if op_id in self._held:
             raise ValueError(f"operation {op_id!r} is already placed")
         key_list = list(keys)
-        if not self.available(key_list, cycle):
+        if (check or _FORCE_VALIDATE) and not self.available(
+            key_list, cycle
+        ):
             raise RuntimeError(
                 f"resources for {op_id!r} unavailable at cycle {cycle}"
             )
@@ -90,6 +149,7 @@ class ModuloReservationTable:
         held = []
         for key in key_list:
             self._slots.setdefault((key, row), []).append(op_id)
+            self._usage[key][row] += 1
             held.append((key, row))
         self._held[op_id] = held
 
@@ -99,7 +159,11 @@ class ModuloReservationTable:
         if held is None:
             raise ValueError(f"operation {op_id!r} is not placed")
         for key, row in held:
-            self._slots[(key, row)].remove(op_id)
+            holders = self._slots[(key, row)]
+            holders.remove(op_id)
+            if not holders:
+                del self._slots[(key, row)]
+            self._usage[key][row] -= 1
 
     def is_placed(self, op_id: OpId) -> bool:
         """True when ``op_id`` currently holds slots."""
@@ -111,11 +175,8 @@ class ModuloReservationTable:
 
     def utilization(self) -> Dict[ResourceKey, float]:
         """Fraction of each resource's kernel slots in use."""
-        usage: Dict[ResourceKey, int] = {key: 0 for key in self._capacity}
-        for (key, _row), holders in self._slots.items():
-            usage[key] += len(holders)
         return {
-            key: usage[key] / (self._capacity[key] * self.ii)
+            key: sum(self._usage[key]) / (self._capacity[key] * self.ii)
             for key in self._capacity
             if self._capacity[key] > 0
         }

@@ -20,14 +20,23 @@ Algorithm (Rau's formulation):
    newly placed op.
 4. A budget of ``budget_ratio × n_ops`` placements bounds the effort at
    one II; exhausting it means failure at this II.
+
+Hot-path structure: the next op comes off a rank-keyed binary heap
+(displaced ops are pushed back; an op's rank never changes, so the heap
+invariant is exact and selection matches a full min-scan bit for bit),
+dependence bounds are computed from the compiled DDG view's pre-extracted
+edge specs, and resource probes use demand profiles pre-compiled against
+the reservation table once per attempt (see
+:meth:`repro.mrt.table.ModuloReservationTable.compile_demand`).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
-from ..ddg.mii import rec_mii
+from ..ddg.mii import rec_mii_exceeds
 from ..ddg.transform import AnnotatedDdg
 from ..mrt.table import ModuloReservationTable
 from ..obs.trace import count as obs_count, span as obs_span
@@ -60,7 +69,7 @@ def modulo_schedule(
     ddg = annotated.ddg
     if len(ddg) == 0:
         raise ValueError("cannot schedule an empty graph")
-    if rec_mii(ddg) > ii:
+    if rec_mii_exceeds(ddg, ii):
         # Copies inserted on a recurrence raised RecMII past this II
         # (the paper's Observation Two): provably unschedulable here.
         obs_count("sched.recmii_rejections")
@@ -81,29 +90,38 @@ def _modulo_schedule(
     ddg,
 ) -> Optional[Schedule]:
     """The scheduling loop proper (inside the ``schedule`` span)."""
+    view = ddg.view()
     order = assignment_order(ddg, ii)
     rank = {node_id: index for index, node_id in enumerate(order)}
     resources = {
-        node_id: annotated.resources_of(node_id) for node_id in ddg.node_ids
+        node_id: annotated.resources_of(node_id) for node_id in view.node_ids
     }
     metrics = compute_metrics(ddg, ii)
+    latency = view.latency
+    in_specs = view.in_specs
+    out_specs = view.out_specs
 
     mrt = ModuloReservationTable(annotated.machine, ii)
+    demand = {
+        node_id: mrt.compile_demand(keys)
+        for node_id, keys in resources.items()
+    }
     start: Dict[int, int] = {}
     previous_start: Dict[int, int] = {}
-    unscheduled: Set[int] = set(ddg.node_ids)
+    unscheduled: Set[int] = set(view.node_ids)
     budget = max(budget_ratio * len(ddg), len(ddg) + 1)
+    # Rank-keyed ready heap.  ``order`` lists ranks 0..n-1 ascending, so
+    # the initial list is already a valid heap.  Displacement pushes the
+    # victim back; membership in ``unscheduled`` filters the (defensive)
+    # possibility of stale entries.
+    ready = [(rank[node_id], node_id) for node_id in order]
 
     def earliest_start(node_id: int) -> Optional[int]:
         """Tightest lower bound from *scheduled* predecessors."""
         bound: Optional[int] = None
-        for edge in ddg.in_edges(node_id):
-            if edge.src in start and edge.src != node_id:
-                candidate = (
-                    start[edge.src]
-                    + ddg.latency(edge.src)
-                    - ii * edge.distance
-                )
+        for src, src_latency, distance in in_specs[node_id]:
+            if src in start and src != node_id:
+                candidate = start[src] + src_latency - ii * distance
                 if bound is None or candidate > bound:
                     bound = candidate
         return bound
@@ -111,13 +129,10 @@ def _modulo_schedule(
     def latest_start(node_id: int) -> Optional[int]:
         """Tightest upper bound from *scheduled* successors."""
         bound: Optional[int] = None
-        for edge in ddg.out_edges(node_id):
-            if edge.dst in start and edge.dst != node_id:
-                candidate = (
-                    start[edge.dst]
-                    - ddg.latency(node_id)
-                    + ii * edge.distance
-                )
+        own_latency = latency[node_id]
+        for dst, distance in out_specs[node_id]:
+            if dst in start and dst != node_id:
+                candidate = start[dst] - own_latency + ii * distance
                 if bound is None or candidate < bound:
                     bound = candidate
         return bound
@@ -126,6 +141,7 @@ def _modulo_schedule(
         mrt.remove(node_id)
         del start[node_id]
         unscheduled.add(node_id)
+        heapq.heappush(ready, (rank[node_id], node_id))
         obs_count("sched.backtracks")
         if stats is not None:
             stats.evictions += 1
@@ -135,8 +151,12 @@ def _modulo_schedule(
             obs_count("sched.budget_exhausted")
             return None
         budget -= 1
-        node_id = min(unscheduled, key=lambda n: rank[n])
-        keys = resources[node_id]
+        while True:
+            _, node_id = heapq.heappop(ready)
+            obs_count("sched.heap_pops")
+            if node_id in unscheduled:
+                break
+        profile = demand[node_id]
         estart = earliest_start(node_id)
         lstart = latest_start(node_id)
 
@@ -161,7 +181,7 @@ def _modulo_schedule(
         probes = 0
         for t in window:
             probes += 1
-            if mrt.available(keys, t):
+            if mrt.probe(profile, t):
                 chosen = t
                 break
         obs_count("sched.slot_probes", probes)
@@ -172,9 +192,9 @@ def _modulo_schedule(
                 chosen = max(forced_time, previous_start[node_id] + 1)
 
         # Displace resource conflicts at the chosen row.
-        for victim in list(mrt.conflicting_ops(keys, chosen)):
+        for victim in list(mrt.conflicting_ops(resources[node_id], chosen)):
             displace(victim)
-        mrt.place(node_id, keys, chosen)
+        mrt.place(node_id, resources[node_id], chosen, check=False)
         start[node_id] = chosen
         previous_start[node_id] = chosen
         unscheduled.discard(node_id)
@@ -185,16 +205,17 @@ def _modulo_schedule(
         # Displace scheduled neighbors whose dependence the placement
         # violates (successors too early, predecessors too late — the
         # latter can happen after a forced or downward placement).
-        for edge in ddg.out_edges(node_id):
-            if edge.dst in start and edge.dst != node_id:
-                needed = chosen + ddg.latency(node_id) - ii * edge.distance
-                if start[edge.dst] < needed:
-                    displace(edge.dst)
-        for edge in ddg.in_edges(node_id):
-            if edge.src in start and edge.src != node_id:
-                limit = chosen - ddg.latency(edge.src) + ii * edge.distance
-                if start[edge.src] > limit:
-                    displace(edge.src)
+        own_latency = latency[node_id]
+        for dst, distance in out_specs[node_id]:
+            if dst in start and dst != node_id:
+                needed = chosen + own_latency - ii * distance
+                if start[dst] < needed:
+                    displace(dst)
+        for src, src_latency, distance in in_specs[node_id]:
+            if src in start and src != node_id:
+                limit = chosen - src_latency + ii * distance
+                if start[src] > limit:
+                    displace(src)
 
     # Normalize to non-negative cycles with a multiple-of-II shift so
     # kernel rows (start mod II) are unchanged.

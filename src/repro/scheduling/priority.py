@@ -22,14 +22,15 @@ class PriorityDivergenceError(RuntimeError):
 
 def _relax_forward(ddg: Ddg, ii: int) -> Dict[int, int]:
     """Longest path *into* each node (its earliest start), a.k.a. ASAP."""
-    asap = {node_id: 0 for node_id in ddg.node_ids}
+    view = ddg.view()
+    edges = view.edge_array
+    asap = {node_id: 0 for node_id in view.node_ids}
     for _ in range(len(asap) + 1):
         changed = False
-        for edge in ddg.edges:
-            weight = ddg.latency(edge.src) - ii * edge.distance
-            candidate = asap[edge.src] + weight
-            if candidate > asap[edge.dst]:
-                asap[edge.dst] = candidate
+        for src, dst, latency, distance in edges:
+            candidate = asap[src] + latency - ii * distance
+            if candidate > asap[dst]:
+                asap[dst] = candidate
                 changed = True
         if not changed:
             return asap
@@ -40,14 +41,15 @@ def _relax_forward(ddg: Ddg, ii: int) -> Dict[int, int]:
 
 def _relax_backward(ddg: Ddg, ii: int) -> Dict[int, int]:
     """Longest path *out of* each node including its own latency (height)."""
-    height = {node_id: ddg.latency(node_id) for node_id in ddg.node_ids}
+    view = ddg.view()
+    edges = view.edge_array
+    height = dict(view.latency)
     for _ in range(len(height) + 1):
         changed = False
-        for edge in ddg.edges:
-            weight = ddg.latency(edge.src) - ii * edge.distance
-            candidate = height[edge.dst] + weight
-            if candidate > height[edge.src]:
-                height[edge.src] = candidate
+        for src, dst, latency, distance in edges:
+            candidate = height[dst] + latency - ii * distance
+            if candidate > height[src]:
+                height[src] = candidate
                 changed = True
         if not changed:
             return height
@@ -85,15 +87,17 @@ def compute_metrics(ddg: Ddg, ii: int) -> PriorityMetrics:
     if len(ddg) == 0:
         return PriorityMetrics(ii=ii, asap={}, alap={}, height={},
                                critical_path=0)
+    view = ddg.view()
     asap = _relax_forward(ddg, ii)
     height = _relax_backward(ddg, ii)
     critical_path = max(
-        asap[node_id] + ddg.latency(node_id) for node_id in ddg.node_ids
+        asap[node_id] + view.latency[node_id] for node_id in view.node_ids
     )
     # ALAP(v) = latest start keeping the critical-path length:
     # critical_path - height(v) places v so its downstream chain just fits.
     alap = {
-        node_id: critical_path - height[node_id] for node_id in ddg.node_ids
+        node_id: critical_path - height[node_id]
+        for node_id in view.node_ids
     }
     return PriorityMetrics(
         ii=ii,

@@ -67,6 +67,9 @@ def swing_order(
     metrics: PriorityMetrics,
 ) -> List[int]:
     """Order all nodes of ``ddg`` given priority ``sets`` and metrics."""
+    view = ddg.view()
+    successors = view.successors
+    predecessors = view.predecessors
     order: List[int] = []
     ordered: Set[int] = set()
 
@@ -77,11 +80,11 @@ def swing_order(
         # Seed: nodes of this set adjacent to the already-ordered prefix.
         ready_after_preds = {
             n for n in pending
-            if any(p in ordered for p in ddg.predecessors(n))
+            if any(p in ordered for p in predecessors[n])
         }
         ready_before_succs = {
             n for n in pending
-            if any(s in ordered for s in ddg.successors(n))
+            if any(s in ordered for s in successors[n])
         }
         if ready_after_preds:
             frontier, direction = ready_after_preds, TOP_DOWN
@@ -102,22 +105,22 @@ def swing_order(
                 pending.discard(node)
                 frontier.discard(node)
                 if direction == TOP_DOWN:
-                    grown = ddg.successors(node)
+                    grown = successors[node]
                 else:
-                    grown = ddg.predecessors(node)
+                    grown = predecessors[node]
                 frontier.update(n for n in grown if n in pending)
             # Swing: reverse direction, restart from the other frontier.
             if direction == TOP_DOWN:
                 direction = BOTTOM_UP
                 frontier = {
                     n for n in pending
-                    if any(s in ordered for s in ddg.successors(n))
+                    if any(s in ordered for s in successors[n])
                 }
             else:
                 direction = TOP_DOWN
                 frontier = {
                     n for n in pending
-                    if any(p in ordered for p in ddg.predecessors(n))
+                    if any(p in ordered for p in predecessors[n])
                 }
             if not frontier and pending:
                 # Disconnected remainder of the set: reseed.

@@ -1,5 +1,7 @@
 """DDG construction and structural queries."""
 
+import time
+
 import pytest
 
 from repro.ddg import Ddg, Edge, Opcode, build_ddg
@@ -66,6 +68,23 @@ class TestAdjacency:
         acc = accumulator.node_ids[1]
         assert acc in accumulator.successors(acc)
         assert acc in accumulator.predecessors(acc)
+
+    def test_high_fan_out_dedup_order_and_speed(self):
+        # One producer with thousands of parallel edges to each of a few
+        # consumers: dedup must stay first-occurrence-ordered and linear
+        # (the seed's `not in list` scan was quadratic in fan-out).
+        graph = Ddg()
+        producer = graph.add_node(Opcode.ALU)
+        consumers = [graph.add_node(Opcode.ALU) for _ in range(8)]
+        for distance in range(500):
+            for consumer in consumers:
+                graph.add_edge(producer, consumer, distance=distance)
+        start = time.perf_counter()
+        succs = graph.successors(producer)
+        elapsed = time.perf_counter() - start
+        assert succs == consumers  # first-occurrence order, one each
+        assert graph.predecessors(consumers[0]) == [producer]
+        assert elapsed < 0.5  # 4000 edges: linear dedup is microseconds
 
     def test_edge_count(self, intro_example):
         assert intro_example.edge_count() == 6

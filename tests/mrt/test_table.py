@@ -93,3 +93,64 @@ class TestUtilization:
         mrt.place("op1", [ISSUE], cycle=1)
         # 2 used of 8 units x 4 rows = 32 slots.
         assert mrt.utilization()[ISSUE] == pytest.approx(2 / 32)
+
+
+class TestDemandProfiles:
+    def test_compile_demand_aggregates_duplicates(self, mrt):
+        profile = mrt.compile_demand([ISSUE, ISSUE, ISSUE])
+        assert len(profile) == 1
+        usage, capacity, count = profile[0]
+        assert capacity == 8 and count == 3
+        for i in range(6):
+            mrt.place(f"op{i}", [ISSUE], cycle=0)
+        assert not mrt.probe(profile, 0)  # 6 + 3 > 8
+        assert mrt.probe(profile, 1)
+
+    def test_compile_demand_unknown_key_raises(self, mrt):
+        with pytest.raises(KeyError):
+            mrt.compile_demand([("issue", 9, "nope")])
+
+    def test_probe_matches_available(self, mrt):
+        profile = mrt.compile_demand([ISSUE])
+        for i in range(8):
+            mrt.place(f"op{i}", [ISSUE], cycle=2)
+        for cycle in range(8):
+            assert mrt.probe(profile, cycle) == mrt.available([ISSUE], cycle)
+
+
+class TestUncheckedPlacement:
+    def test_place_unchecked_skips_validation(self, mrt):
+        for i in range(8):
+            mrt.place(f"op{i}", [ISSUE], cycle=0)
+        # check=False trusts the caller's prior probe; it must not raise
+        # even though the row is full (the scheduler displaces conflicts
+        # before placing, so this state never occurs on the hot path).
+        mrt.place("late", [ISSUE], cycle=0, check=False)
+        mrt.remove("late")
+        assert mrt.available([ISSUE], 4) is False  # row 0 still full
+
+    def test_forced_validation_env(self, uni8, monkeypatch):
+        import repro.mrt.table as table
+        monkeypatch.setattr(table, "_FORCE_VALIDATE", True)
+        mrt = ModuloReservationTable(uni8, ii=4)
+        for i in range(8):
+            mrt.place(f"op{i}", [ISSUE], cycle=0)
+        with pytest.raises(RuntimeError):
+            mrt.place("late", [ISSUE], cycle=0, check=False)
+
+
+class TestSlotHygiene:
+    def test_remove_drops_empty_holder_lists(self, mrt):
+        mrt.place("op1", [ISSUE], cycle=3)
+        mrt.remove("op1")
+        assert (ISSUE, 3) not in mrt._slots
+
+    def test_usage_counters_track_slots(self, mrt):
+        mrt.place("a", [ISSUE], cycle=0)
+        mrt.place("b", [ISSUE], cycle=0)
+        mrt.place("c", [ISSUE], cycle=1)
+        assert mrt._usage[ISSUE][0] == 2
+        assert mrt._usage[ISSUE][1] == 1
+        mrt.remove("a")
+        assert mrt._usage[ISSUE][0] == 1
+        assert len(mrt._slots[(ISSUE, 0)]) == 1
