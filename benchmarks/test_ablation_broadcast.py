@@ -6,7 +6,6 @@ resource pressure.  Expected: fewer loops match the unified II and total
 copies rise.
 """
 
-import pytest
 
 from repro.analysis import (
     deviation_table,

@@ -6,7 +6,6 @@ space, and iteration.  Expected: prediction helps most where ports are
 scarce (the paper's Observation One scenario).
 """
 
-import pytest
 
 from repro.analysis import (
     deviation_table,

@@ -5,7 +5,6 @@ because more slack allows fewer copies.  We quantify the first half of
 that claim: copy counts of successful assignments shrink as II grows.
 """
 
-import pytest
 
 from repro.core import assign_clusters
 from repro.ddg import mii

@@ -6,7 +6,6 @@ affinity in selection — the paper's Observation Two scenario (copies
 landing inside SCCs raise RecMII and therefore II).
 """
 
-import pytest
 
 from repro.analysis import (
     deviation_table,

@@ -10,7 +10,6 @@ list-schedules the (optionally unrolled) body, then re-issues the fixed
 block as tightly as carried dependences and folded resources allow.
 """
 
-import pytest
 
 from repro.baselines import bug_list_schedule
 from repro.core import compile_loop

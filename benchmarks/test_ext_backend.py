@@ -6,7 +6,6 @@ stage count), MVE unroll factors, per-cluster register pressure, and a
 full execution-validation sweep on the simulated clustered hardware.
 """
 
-import pytest
 
 from repro.analysis.registers import mve_unroll_factor, register_pressure
 from repro.codegen import expand_pipeline

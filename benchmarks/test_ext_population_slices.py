@@ -6,7 +6,6 @@ raison d'etre — 301/1327 in the paper's suite) versus pure streaming
 loops, and by loop-body size.
 """
 
-import pytest
 
 from repro.analysis import (
     by_recurrence,

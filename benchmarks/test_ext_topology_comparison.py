@@ -7,7 +7,6 @@ stay mostly within one cycle — quantifying what the paper's Section 6
 grid result suggests.
 """
 
-import pytest
 
 from repro.analysis import (
     cumulative_table,

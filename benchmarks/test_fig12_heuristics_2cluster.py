@@ -7,7 +7,6 @@ matches the unified II for the most loops; removing iteration costs more
 than removing the selection heuristic (paper: 2–11 % and 1–9 % drops).
 """
 
-import pytest
 
 from repro.analysis import (
     deviation_table,
@@ -15,7 +14,7 @@ from repro.analysis import (
     match_bar_chart,
     run_variant_comparison,
 )
-from repro.core import ALL_VARIANTS, HEURISTIC_ITERATIVE, SIMPLE
+from repro.core import ALL_VARIANTS
 from repro.machine import two_cluster_gp
 
 from conftest import print_report

@@ -5,7 +5,6 @@ four variants as Figure 12; the gap between the full algorithm and the
 ablated ones widens with more clusters.
 """
 
-import pytest
 
 from repro.analysis import (
     deviation_table,

@@ -3,7 +3,6 @@
 Paper: 1 bus impacts ~4 % of loops; 2 buses suffice; 4 buses add nothing.
 """
 
-import pytest
 
 from repro.analysis import deviation_table, experiment_summary, run_sweep
 from repro.machine import two_cluster_gp

@@ -4,7 +4,6 @@ Paper: one port per cluster suffices; a second port improves only 0.1 %
 of loops.
 """
 
-import pytest
 
 from repro.analysis import deviation_table, experiment_summary, run_sweep
 from repro.machine import two_cluster_gp

@@ -4,7 +4,6 @@ Paper: dropping from 4 to 2 buses hurts >10 % of loops; going from 4 to 8
 adds only ~3 %.
 """
 
-import pytest
 
 from repro.analysis import deviation_table, experiment_summary, run_sweep
 from repro.machine import four_cluster_gp

@@ -4,7 +4,6 @@ Paper: 1 port hurts ~12 % of loops; 2 ports is the sweet spot; 4 ports
 are of marginal value.
 """
 
-import pytest
 
 from repro.analysis import deviation_table, experiment_summary, run_sweep
 from repro.machine import four_cluster_gp

@@ -4,7 +4,6 @@ Paper: with 2 buses, ~95 % of loops match the unified machine's II; FS
 results closely track the GP results.
 """
 
-import pytest
 
 from repro.analysis import deviation_table, experiment_summary, run_sweep
 from repro.machine import two_cluster_fs

@@ -3,7 +3,6 @@
 Paper: with 4 buses and 2 ports, ~94 % of loops match the unified II.
 """
 
-import pytest
 
 from repro.analysis import deviation_table, experiment_summary, run_sweep
 from repro.machine import four_cluster_fs

@@ -5,7 +5,6 @@ most one cycle — despite no broadcast, one fewer unit per cluster, and
 two-hop diagonals.
 """
 
-import pytest
 
 from repro.analysis import (
     cumulative_table,

@@ -7,7 +7,6 @@ communication, with the asymmetric machine mildly behind (its narrow
 cluster forces more traffic toward the wide one).
 """
 
-import pytest
 
 from repro.analysis import (
     deviation_table,

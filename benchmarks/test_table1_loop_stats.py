@@ -8,7 +8,7 @@ import pytest
 
 from repro.workloads import paper_suite, suite_statistics
 
-from conftest import bench_suite_size, print_report
+from conftest import print_report
 
 
 def test_table1_statistics(benchmark):

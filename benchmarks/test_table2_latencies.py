@@ -1,8 +1,7 @@
 """Table 2: operation latencies used by every machine model."""
 
-import pytest
 
-from repro.ddg import Opcode, all_opcode_info, latency_of
+from repro.ddg import Opcode, all_opcode_info
 
 from conftest import print_report
 

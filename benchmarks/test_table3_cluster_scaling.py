@@ -5,7 +5,6 @@ Paper: (2 cl, 2 buses, 1 port) -> 99.7 %; (4, 4, 2) -> 97.5 %;
 roughly linear bus/port needs in the cluster count.
 """
 
-import pytest
 
 from repro.analysis import run_experiment, table3_rows
 from repro.machine import TABLE3_CONFIGS, n_cluster_gp

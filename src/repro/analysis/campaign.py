@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.variants import ALL_VARIANTS, HEURISTIC_ITERATIVE
 from ..ddg.graph import Ddg

@@ -38,7 +38,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..core.driver import CompilationError, compile_loop
@@ -57,7 +57,7 @@ from .experiment import (
 )
 
 #: Bumped whenever the cached-outcome schema changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,12 @@ class EngineOptions:
     #: Loops per worker task; 0 picks a size that gives each worker
     #: several tasks (smooths uneven per-loop compile times).
     chunk_size: int = 0
+    #: Optional :class:`repro.lint.LintConfig` gate: lint every
+    #: compiled loop, record per-loop diagnostic counts/codes on the
+    #: outcome; with ``lint_config.strict`` a lint error fails the
+    #: loop.  (The config is frozen and picklable, so it rides into
+    #: worker processes unchanged.)
+    lint_config: Optional[object] = None
 
 
 # ----------------------------------------------------------------------
@@ -108,9 +114,24 @@ def config_fingerprint(config: AssignmentConfig) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def lint_fingerprint(lint_config) -> Optional[str]:
+    """Hex digest of a lint gate's configuration (None when no gate)."""
+    if lint_config is None:
+        return None
+    doc = {
+        "disable": sorted(lint_config.disable),
+        "enable": sorted(lint_config.enable),
+        "severity": dict(sorted(lint_config.severity.items())),
+        "strict": lint_config.strict,
+        "sample": lint_config.differential_sample,
+    }
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def outcome_cache_key(
     ddg: Ddg, machine: Machine, config: AssignmentConfig,
-    verify: bool = False,
+    verify: bool = False, lint_config=None,
 ) -> str:
     """Cache key of one (loop, machine, config) measurement."""
     doc = {
@@ -120,6 +141,7 @@ def outcome_cache_key(
         "machine": machine_fingerprint(machine),
         "config": config_fingerprint(config),
         "verify": verify,
+        "lint": lint_fingerprint(lint_config),
     }
     payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -156,6 +178,9 @@ class ResultCache:
             copies=int(doc["copies"]),
             status=doc.get("status", STATUS_OK),
             error=doc.get("error", ""),
+            lint_errors=int(doc.get("lint_errors", 0)),
+            lint_warnings=int(doc.get("lint_warnings", 0)),
+            lint_codes=tuple(doc.get("lint_codes", ())),
         )
 
     def store(self, key: str, outcome: LoopOutcome) -> None:
@@ -170,6 +195,9 @@ class ResultCache:
             "copies": outcome.copies,
             "status": outcome.status,
             "error": outcome.error,
+            "lint_errors": outcome.lint_errors,
+            "lint_warnings": outcome.lint_warnings,
+            "lint_codes": list(outcome.lint_codes),
         }
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
@@ -236,6 +264,7 @@ def _measure_loop(
     verify: bool,
     timeout_seconds: float,
     unified_ii_hint: Optional[int],
+    lint_config=None,
 ) -> Tuple[LoopOutcome, float]:
     """One loop's outcome plus the seconds spent on its unified baseline.
 
@@ -259,7 +288,8 @@ def _measure_loop(
                             time.perf_counter() - baseline_started
                         )
                 clustered = compile_loop(
-                    ddg, machine, config, verify=verify
+                    ddg, machine, config, verify=verify,
+                    lint_config=lint_config,
                 )
         except CompilationError as exc:
             obs.count("experiment.failures")
@@ -294,11 +324,15 @@ def _measure_loop(
                 copies=clustered.copy_count,
             )
             obs.count("experiment.loops")
+            report = clustered.lint_report
             outcome = LoopOutcome(
                 loop_name=ddg.name,
                 unified_ii=unified_ii,
                 clustered_ii=clustered.ii,
                 copies=clustered.copy_count,
+                lint_errors=len(report.errors) if report else 0,
+                lint_warnings=len(report.warnings) if report else 0,
+                lint_codes=tuple(report.codes()) if report else (),
             )
     return outcome, baseline_seconds
 
@@ -315,7 +349,7 @@ def _run_chunk(payload: Tuple) -> Tuple:
     was not tracing).
     """
     (items, machine, config, verify,
-     timeout_seconds, known_ii, want_trace) = payload
+     timeout_seconds, known_ii, want_trace, lint_config) = payload
     trace = obs.Trace() if want_trace else None
     if trace is not None:
         obs.install(trace)
@@ -326,6 +360,7 @@ def _run_chunk(payload: Tuple) -> Tuple:
             outcome, baseline_seconds = _measure_loop(
                 ddg, machine, unified, config, verify,
                 timeout_seconds, known_ii.get(ddg.name),
+                lint_config,
             )
             records.append((index, outcome, baseline_seconds))
         events = obs.trace_events(trace) if trace is not None else None
@@ -395,7 +430,8 @@ def run_engine_experiment(
             for index, ddg in enumerate(loops):
                 if cache is not None:
                     keys[index] = outcome_cache_key(
-                        ddg, machine, config, verify
+                        ddg, machine, config, verify,
+                        options.lint_config,
                     )
                 hit = (cache.load(keys[index])
                        if cache is not None and options.resume else None)
@@ -450,7 +486,7 @@ def _run_inline(
         hint = baseline.lookup(unified.name, ddg.name)
         outcome, baseline_seconds = _measure_loop(
             ddg, machine, unified, config, verify,
-            options.timeout_seconds, hint,
+            options.timeout_seconds, hint, options.lint_config,
         )
         result.baseline_seconds += baseline_seconds
         if outcome.unified_ii > 0:
@@ -473,7 +509,8 @@ def _run_parallel(
     chunks = _chunked(pending, options.workers, options.chunk_size)
     payloads = [
         (chunk, machine, config, verify,
-         options.timeout_seconds, known_ii, want_trace)
+         options.timeout_seconds, known_ii, want_trace,
+         options.lint_config)
         for chunk in chunks
     ]
     by_name = {ddg.name: ddg for _, ddg in pending}

@@ -67,6 +67,11 @@ class LoopOutcome:
     copies: int
     status: str = STATUS_OK
     error: str = ""
+    #: Lint gate results for this loop (all zero / empty when the
+    #: experiment ran without ``lint_config``).
+    lint_errors: int = 0
+    lint_warnings: int = 0
+    lint_codes: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -139,6 +144,24 @@ class ExperimentResult:
         """Number of loops attempted (measured + failed)."""
         return len(self.outcomes)
 
+    @property
+    def total_lint_errors(self) -> int:
+        """Lint errors across all outcomes (0 without a lint gate)."""
+        return sum(outcome.lint_errors for outcome in self.outcomes)
+
+    @property
+    def total_lint_warnings(self) -> int:
+        """Lint warnings across all outcomes (0 without a lint gate)."""
+        return sum(outcome.lint_warnings for outcome in self.outcomes)
+
+    def lint_code_counts(self) -> Dict[str, int]:
+        """Loops-affected count per diagnostic code, over all outcomes."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for code in outcome.lint_codes:
+                counts[code] = counts.get(code, 0) + 1
+        return dict(sorted(counts.items()))
+
 
 class UnifiedBaseline:
     """Cache of unified-machine IIs keyed by (machine name, loop name).
@@ -207,6 +230,7 @@ def run_experiment(
     baseline: Optional[UnifiedBaseline] = None,
     verify: bool = False,
     strict: bool = False,
+    lint_config=None,
 ) -> ExperimentResult:
     """Measure one clustered configuration against its unified baseline.
 
@@ -216,6 +240,13 @@ def run_experiment(
     the run as an :class:`ExperimentError` carrying the partial result
     (malformed-graph ``ValueError`` propagates unchanged, as it always
     did).
+
+    ``lint_config`` (a :class:`repro.lint.LintConfig`) runs the static
+    analyzer on every compiled loop and records the per-loop diagnostic
+    counts/codes on the :class:`LoopOutcome`; with
+    ``lint_config.strict`` a loop whose lint report contains errors
+    becomes a ``failed`` outcome (or aborts under ``strict=True``, like
+    any other compilation failure).
     """
     if baseline is None:
         baseline = UnifiedBaseline()
@@ -238,7 +269,8 @@ def run_experiment(
                     try:
                         unified_ii = baseline.ii_for(ddg, unified)
                         clustered = compile_loop(
-                            ddg, machine, config, verify=verify
+                            ddg, machine, config, verify=verify,
+                            lint_config=lint_config,
                         )
                     except CompilationError as exc:
                         obs.count("experiment.failures")
@@ -277,11 +309,21 @@ def run_experiment(
                             copies=clustered.copy_count,
                         )
                         obs.count("experiment.loops")
+                        report = clustered.lint_report
                         outcome = LoopOutcome(
                             loop_name=ddg.name,
                             unified_ii=unified_ii,
                             clustered_ii=clustered.ii,
                             copies=clustered.copy_count,
+                            lint_errors=(
+                                len(report.errors) if report else 0
+                            ),
+                            lint_warnings=(
+                                len(report.warnings) if report else 0
+                            ),
+                            lint_codes=(
+                                tuple(report.codes()) if report else ()
+                            ),
                         )
                 result.outcomes.append(outcome)
     finally:
@@ -304,6 +346,7 @@ def run_sweep(
     baseline: Optional[UnifiedBaseline] = None,
     verify: bool = False,
     strict: bool = False,
+    lint_config=None,
 ) -> List[ExperimentResult]:
     """Run one experiment per machine (the bus/port sweep pattern)."""
     if baseline is None:
@@ -318,7 +361,7 @@ def run_sweep(
             run_experiment(
                 loops, machine, config,
                 label=label, baseline=baseline, verify=verify,
-                strict=strict,
+                strict=strict, lint_config=lint_config,
             )
         )
     return results
@@ -331,6 +374,7 @@ def run_variant_comparison(
     baseline: Optional[UnifiedBaseline] = None,
     verify: bool = False,
     strict: bool = False,
+    lint_config=None,
 ) -> List[ExperimentResult]:
     """Run one experiment per algorithm variant (Figures 12–13 pattern)."""
     if baseline is None:
@@ -339,7 +383,7 @@ def run_variant_comparison(
         run_experiment(
             loops, machine, config,
             label=config.name, baseline=baseline, verify=verify,
-            strict=strict,
+            strict=strict, lint_config=lint_config,
         )
         for config in configs
     ]

@@ -8,7 +8,7 @@ rows/series the paper reports.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from .experiment import ExperimentResult
 

@@ -33,7 +33,6 @@ from ..core.selection import (
 )
 from ..core.variants import HEURISTIC_ITERATIVE, AssignmentConfig
 from ..ddg.graph import Ddg
-from ..ddg.scc import SccPartition
 from ..ddg.transform import AnnotatedDdg, trivial_annotation
 from ..machine.machine import Machine, ResourceKey
 from ..mrt.pool import PoolOverflowError

@@ -12,11 +12,19 @@ Subcommands:
 * ``experiment`` — run one clustered configuration against its unified
   baseline over the suite and print the II-deviation histogram
   (``--json`` emits histogram + obs counters as one JSON document).
+* ``lint`` — run the static-analysis rules (see ``docs/LINTING.md``)
+  over loop files, the bundled corpus, or a machine description, and
+  render the diagnostics as text, JSON, or SARIF 2.1.0; exits nonzero
+  when any error-severity diagnostic fires.
+
+``compile`` and ``experiment`` also accept ``--lint[=strict]`` to run
+the analyzer as a gate on every compiled artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Callable, Dict, Optional
@@ -32,7 +40,7 @@ from .analysis import (
 )
 from .analysis.registers import format_pressure, register_pressure
 from .codegen import expand_pipeline, format_kernel_only, format_pipelined
-from .core import ALL_VARIANTS, HEURISTIC_ITERATIVE, compile_loop
+from .core import ALL_VARIANTS, CompilationError, compile_loop
 from .ddg.dot import annotated_to_dot
 from .ddg.parse import parse_loop
 from .machine import (
@@ -44,7 +52,13 @@ from .machine import (
     two_cluster_fs,
     two_cluster_gp,
 )
-from .workloads import paper_suite, suite_statistics
+from .workloads import (
+    all_kernels,
+    bundled_corpus,
+    loads_corpus,
+    paper_suite,
+    suite_statistics,
+)
 
 MACHINES: Dict[str, Callable[[], Machine]] = {
     "2gp": two_cluster_gp,
@@ -104,12 +118,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     loop = _read_loop(args)
     machine = _machine(args.machine)
     config = VARIANTS[args.variant]
+    lint_config = (
+        _lint_config_from_args(args) if args.lint is not None else None
+    )
     trace = _trace_requested(args)
     if trace is not None:
         obs.install(trace)
     try:
-        result = compile_loop(loop, machine, config=config, verify=True)
+        result = compile_loop(
+            loop, machine, config=config, verify=True,
+            lint_config=lint_config,
+        )
         unified = compile_loop(loop, machine.unified_equivalent())
+    except CompilationError as exc:
+        print(f"compilation failed: {exc}", file=sys.stderr)
+        return 1
     finally:
         if trace is not None:
             obs.uninstall()
@@ -158,6 +181,15 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         with open(args.dot, "w") as handle:
             handle.write(annotated_to_dot(result.annotated))
         print(f"wrote {args.dot}")
+    if result.lint_report is not None:
+        report = result.lint_report
+        print()
+        print(f"lint: {report.summary()}")
+        for diagnostic in report.diagnostics:
+            print(f"  {diagnostic}")
+        if not report.ok:
+            _emit_trace(trace, args)
+            return 1
     _emit_trace(trace, args)
     return 0
 
@@ -208,7 +240,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     loops = paper_suite(args.loops)
     machine = _machine(args.machine)
     config = VARIANTS[args.variant]
+    lint_config = (
+        _lint_config_from_args(args) if args.lint is not None else None
+    )
     options = _engine_options(args)
+    if options is not None and lint_config is not None:
+        options = dataclasses.replace(options, lint_config=lint_config)
     trace = _trace_requested(args)
     if args.json and trace is None:
         # --json reports obs counters, so it always traces.
@@ -222,7 +259,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
         else:
             result = run_experiment(
-                loops, machine, config=config, strict=args.strict
+                loops, machine, config=config, strict=args.strict,
+                lint_config=lint_config,
             )
     except ExperimentError as exc:
         print(f"experiment aborted: {exc}", file=sys.stderr)
@@ -235,17 +273,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     finally:
         if trace is not None:
             obs.uninstall()
+    lint_failed = (
+        lint_config is not None and result.total_lint_errors > 0
+    )
     if args.json:
-        print(json.dumps(_experiment_json(result, trace), indent=2))
+        doc = _experiment_json(result, trace)
+        if lint_config is not None:
+            doc["lint"] = {
+                "errors": result.total_lint_errors,
+                "warnings": result.total_lint_warnings,
+                "codes": result.lint_code_counts(),
+            }
+        print(json.dumps(doc, indent=2))
         out = getattr(args, "trace_out", None)
         if out:
             obs.write_jsonl(trace, out)
-        return 0
+        return 1 if lint_failed else 0
     print(deviation_table([result]))
     print()
     print(experiment_summary(result))
+    if lint_config is not None:
+        print(
+            f"lint gate: {result.total_lint_errors} error(s), "
+            f"{result.total_lint_warnings} warning(s) across "
+            f"{result.n_loops} loops"
+            + (f" — codes {result.lint_code_counts()}"
+               if result.lint_code_counts() else "")
+        )
     _emit_trace(trace, args)
-    return 0
+    return 1 if lint_failed else 0
 
 
 def _experiment_json(result, trace: Optional[obs.Trace]) -> Dict:
@@ -296,6 +352,136 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         print(report)
     return 0
+
+
+def _lint_config_from_args(args: argparse.Namespace):
+    """Build a :class:`repro.lint.LintConfig` from parsed lint flags."""
+    from .lint import LintConfig
+
+    severity = {}
+    for item in getattr(args, "severity", None) or []:
+        code, _, level = item.partition("=")
+        if not level:
+            raise SystemExit(
+                f"--severity wants CODE=LEVEL, got {item!r}"
+            )
+        severity[code] = level
+    enable = set(getattr(args, "enable", None) or [])
+    if getattr(args, "differential", False):
+        enable.add("SCHED490")
+    try:
+        return LintConfig(
+            disable=frozenset(getattr(args, "disable", None) or []),
+            enable=frozenset(enable),
+            severity=severity,
+            strict=getattr(args, "lint", None) == "strict",
+            differential_sample=getattr(args, "sample", 1),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _lint_loops(args: argparse.Namespace):
+    """Collect the loops a ``repro lint`` invocation targets.
+
+    Positional paths may be single-loop files or multi-loop corpus
+    files (detected by the ``== name ==`` headers); with no explicit
+    source the bundled corpus is analyzed.
+    """
+    loops = []
+    for path in args.paths:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path) as handle:
+                text = handle.read()
+        if any(
+            line.lstrip().startswith("==") for line in text.splitlines()
+        ):
+            loops.extend(loads_corpus(text))
+        else:
+            loops.append(parse_loop(text, name=path))
+    if args.kernels:
+        loops.extend(all_kernels())
+    if args.suite:
+        loops.extend(paper_suite(args.suite))
+    if args.bundled or not loops:
+        loops.extend(bundled_corpus())
+    unique = {}
+    for loop in loops:
+        unique.setdefault(loop.name, loop)
+    return list(unique.values())
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        LintTarget,
+        lint_corpus_deep,
+        lint_machine,
+        render,
+        run_lint,
+    )
+
+    machine = _machine(args.machine)
+    config = _lint_config_from_args(args)
+    loops = _lint_loops(args)
+    variant = VARIANTS[args.variant]
+    if args.fast:
+        # Shallow pass: graph + machine rules only, no compilation.
+        report = lint_machine(machine, config)
+        report.extend(run_lint(
+            (LintTarget(name=ddg.name, ddg=ddg) for ddg in loops),
+            config,
+        ))
+    else:
+        report = lint_corpus_deep(loops, machine, config, variant)
+    rendered = render(report, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output} ({report.summary()})")
+    else:
+        print(rendered)
+    return report.exit_code
+
+
+def _add_lint_select_flags(parser: argparse.ArgumentParser) -> None:
+    """Rule-selection flags shared by ``lint`` and the ``--lint`` gates."""
+    parser.add_argument(
+        "--disable", action="append", default=None, metavar="CODE",
+        help="disable a rule (repeatable), e.g. --disable DDG105",
+    )
+    parser.add_argument(
+        "--enable", action="append", default=None, metavar="CODE",
+        help="enable a default-off rule (repeatable), "
+             "e.g. --enable SCHED490",
+    )
+    parser.add_argument(
+        "--severity", action="append", default=None,
+        metavar="CODE=LEVEL",
+        help="override a rule's severity (error/warning/info), "
+             "repeatable",
+    )
+    parser.add_argument(
+        "--differential", action="store_true",
+        help="shorthand for --enable SCHED490 (cross-check against "
+             "the frozen slow-reference pipeline)",
+    )
+    parser.add_argument(
+        "--sample", type=int, default=1, metavar="N",
+        help="run the differential rule on one loop in N (default "
+             "every sampled loop)",
+    )
+
+
+def _add_lint_gate_flag(parser: argparse.ArgumentParser) -> None:
+    """The ``--lint[=strict]`` gate flag on compile/experiment."""
+    parser.add_argument(
+        "--lint", nargs="?", const="on", choices=["on", "strict"],
+        default=None, metavar="strict",
+        help="lint every compiled artifact; '--lint strict' treats "
+             "lint errors as compilation failures",
+    )
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -372,6 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
              "validate against the sequential reference",
     )
     _add_trace_flags(compile_parser)
+    _add_lint_gate_flag(compile_parser)
+    _add_lint_select_flags(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
     trace_parser = sub.add_parser(
@@ -416,7 +604,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(experiment_parser)
     _add_trace_flags(experiment_parser)
+    _add_lint_gate_flag(experiment_parser)
+    _add_lint_select_flags(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static-analysis rules over loops / corpora / machines "
+             "(see docs/LINTING.md)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="loop or corpus files ('-' for stdin); default is the "
+             "bundled corpus",
+    )
+    lint_parser.add_argument(
+        "--machine", default="2gp", help=f"one of {sorted(MACHINES)}"
+    )
+    lint_parser.add_argument(
+        "--variant", default="heuristic-iterative",
+        choices=sorted(VARIANTS),
+    )
+    lint_parser.add_argument(
+        "--kernels", action="store_true",
+        help="also lint every hand-written paper kernel",
+    )
+    lint_parser.add_argument(
+        "--bundled", action="store_true",
+        help="also lint the bundled corpus (the default when no other "
+             "source is given)",
+    )
+    lint_parser.add_argument(
+        "--suite", type=int, default=0, metavar="N",
+        help="also lint paper_suite(N)",
+    )
+    lint_parser.add_argument(
+        "--fast", action="store_true",
+        help="shallow pass only (graph + machine rules, no "
+             "compilation)",
+    )
+    lint_parser.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        help="output format (default text)",
+    )
+    lint_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the rendered report to a file instead of stdout",
+    )
+    _add_lint_select_flags(lint_parser)
+    lint_parser.set_defaults(func=_cmd_lint)
 
     campaign_parser = sub.add_parser(
         "campaign", help="regenerate every paper table and figure"

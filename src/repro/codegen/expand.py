@@ -22,7 +22,7 @@ emitters are provided.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from ..scheduling.schedule import Schedule
 

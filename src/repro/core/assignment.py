@@ -23,7 +23,7 @@ was found at this II.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..ddg.graph import Ddg

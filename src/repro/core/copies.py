@@ -21,7 +21,7 @@ the copies' port/bus/link slots in the shared :class:`ResourcePools`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..ddg.graph import Ddg
 from ..machine.machine import Machine, ResourceKey

@@ -50,6 +50,9 @@ class CompiledLoop:
     assignment_stats: AssignmentStats
     scheduler_stats: SchedulerStats
     attempts: int
+    #: Populated when compilation ran with a lint gate
+    #: (``lint_config`` passed to :func:`compile_loop`).
+    lint_report: Optional[object] = None
 
     @property
     def copy_count(self) -> int:
@@ -75,12 +78,18 @@ def compile_loop(
     scheduler_budget_ratio: int = DEFAULT_BUDGET_RATIO,
     verify: bool = False,
     min_ii: Optional[int] = None,
+    lint_config=None,
 ) -> CompiledLoop:
     """Assign and modulo-schedule ``ddg`` on ``machine`` (Figure 5 loop).
 
     ``min_ii`` overrides the starting candidate (defaults to the unified
     machine's MII, the paper's starting point).  ``verify=True`` re-checks
     every produced schedule with the independent validator.
+
+    ``lint_config`` (a :class:`repro.lint.LintConfig`) runs the static
+    analyzer over the compiled artifacts and attaches the report as
+    ``CompiledLoop.lint_report``; with ``lint_config.strict`` a report
+    containing errors raises :class:`CompilationError`.
     """
     unified = machine.unified_equivalent()
     machine_mii = mii(ddg, unified)
@@ -120,7 +129,7 @@ def compile_loop(
             compile_span.note(
                 ii=candidate_ii, ii_restarts=attempts - 1
             )
-            return CompiledLoop(
+            compiled = CompiledLoop(
                 ddg=ddg,
                 machine=machine,
                 config=config,
@@ -132,6 +141,22 @@ def compile_loop(
                 scheduler_stats=scheduler_stats,
                 attempts=attempts,
             )
+            if lint_config is not None:
+                from ..lint.engine import lint_compiled
+
+                report = lint_compiled(compiled, lint_config)
+                compiled.lint_report = report
+                obs.count("driver.lint_errors", len(report.errors))
+                if lint_config.strict and not report.ok:
+                    obs.count("driver.lint_rejections")
+                    raise CompilationError(
+                        f"lint gate rejected "
+                        f"{ddg.name or 'loop'} on {machine.name}: "
+                        + "; ".join(
+                            str(d) for d in report.errors[:4]
+                        )
+                    )
+            return compiled
         compile_span.note(outcome="no_schedule")
         obs.count("driver.compilation_errors")
     raise CompilationError(

@@ -22,9 +22,7 @@ the worst-case placement of its still-unassigned consumers:
 
 from __future__ import annotations
 
-from typing import Dict
 
-from ..ddg.graph import Ddg
 from ..machine.machine import Machine
 from .copies import RoutingState
 

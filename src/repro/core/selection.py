@@ -22,7 +22,7 @@ Two chains are defined:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)

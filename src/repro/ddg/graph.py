@@ -16,7 +16,7 @@ the same consumer both within the iteration and across iterations).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx

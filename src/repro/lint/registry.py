@@ -1,0 +1,218 @@
+"""Rule registry and per-run configuration.
+
+A *rule* re-derives one pipeline invariant from scratch and reports
+findings.  Rules are registered with the :func:`rule` decorator under a
+stable code grouped by artifact family:
+
+========== ======================================================
+``DDG1xx``    graph well-formedness of the input DDG
+``MACH2xx``   machine-description consistency
+``ASSIGN3xx`` legality of the cluster-annotated graph
+``SCHED4xx``  modulo-schedule constraints and modulo properties
+``REG5xx``    lifetime / MVE register-allocation consistency
+========== ======================================================
+
+A rule's check function receives ``(target, config)`` and yields
+:class:`Finding` records; the engine wraps them into
+:class:`~repro.lint.diagnostics.Diagnostic` objects, applying the
+configured severity.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, NamedTuple
+
+from .diagnostics import SEVERITIES
+
+#: Rule families and what they inspect.
+FAMILIES = {
+    "DDG1": "DDG well-formedness",
+    "MACH2": "machine description",
+    "ASSIGN3": "annotated-graph legality",
+    "SCHED4": "modulo-schedule constraints",
+    "REG5": "register lifetime / MVE consistency",
+}
+
+_CODE = re.compile(r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5)\d\d$")
+
+
+class Finding(NamedTuple):
+    """One raw finding of one rule (pre-severity, pre-code)."""
+
+    location: str
+    message: str
+    hint: str = ""
+
+
+CheckFn = Callable[..., Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    code: str
+    name: str
+    default_severity: str
+    description: str
+    #: Artifact names the target must provide: any of ``graph``,
+    #: ``machine``, ``annotated``, ``schedule``.
+    requires: FrozenSet[str]
+    check: CheckFn
+    #: Artifact family reported in diagnostics (``ddg``/``machine``/...).
+    artifact: str
+    #: Default-off rules (e.g. the expensive differential cross-check)
+    #: run only when explicitly enabled.
+    default_enabled: bool = True
+
+    @property
+    def family(self) -> str:
+        """The family prefix of this rule's code (e.g. ``SCHED4``)."""
+        match = _CODE.match(self.code)
+        return match.group(1) if match else self.code
+
+
+#: The global registry: code -> rule, populated by module import.
+RULES: Dict[str, Rule] = {}
+
+#: Memoized sorted view of ``RULES`` (rebuilt on registration).
+_SORTED_RULES: "List[Rule]" = []
+
+#: Memoized (disable, enable, available) -> applicable rule tuple.
+_APPLICABLE: Dict[tuple, tuple] = {}
+
+
+def invalidate_rule_caches() -> None:
+    """Drop the memoized rule views (call after mutating ``RULES``)."""
+    _SORTED_RULES.clear()
+    _APPLICABLE.clear()
+
+
+def rule(
+    code: str,
+    name: str,
+    severity: str,
+    description: str,
+    requires: Iterable[str],
+    artifact: str,
+    default_enabled: bool = True,
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function under a stable diagnostic code."""
+    if not _CODE.match(code):
+        raise ValueError(f"malformed rule code {code!r}")
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r} for {code}")
+
+    def decorate(check: CheckFn) -> CheckFn:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        invalidate_rule_caches()
+        RULES[code] = Rule(
+            code=code,
+            name=name,
+            default_severity=severity,
+            description=description,
+            requires=frozenset(requires),
+            check=check,
+            artifact=artifact,
+            default_enabled=default_enabled,
+        )
+        return check
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by code.
+
+    The sorted view is memoized (linting runs per compiled loop, so
+    this is on the ``--lint`` gate's hot path); registering a new rule
+    invalidates it.
+    """
+    if not _SORTED_RULES:
+        _load_rule_modules()
+        _SORTED_RULES.extend(RULES[code] for code in sorted(RULES))
+    return _SORTED_RULES
+
+
+def applicable_rules(
+    config: "LintConfig", available: FrozenSet[str]
+) -> tuple:
+    """Enabled rules whose requirements ``available`` satisfies.
+
+    Rule selection depends only on the config's enable/disable sets and
+    the target's artifact availability, so the filtered tuple is
+    memoized across targets — the ``--lint`` gate lints one target per
+    compiled loop and would otherwise re-filter 30+ rules each time.
+    """
+    key = (config.disable, config.enable, available)
+    cached = _APPLICABLE.get(key)
+    if cached is None:
+        cached = tuple(
+            r for r in all_rules()
+            if config.is_enabled(r) and r.requires <= available
+        )
+        _APPLICABLE[key] = cached
+    return cached
+
+
+def rules_in_family(prefix: str) -> List[Rule]:
+    """Rules whose code starts with ``prefix`` (e.g. ``SCHED4``)."""
+    return [r for r in all_rules() if r.code.startswith(prefix)]
+
+
+def _load_rule_modules() -> None:
+    """Import every rules module so the registry is fully populated."""
+    from . import (  # noqa: F401  (imported for registration side effect)
+        rules_assign,
+        rules_ddg,
+        rules_machine,
+        rules_reg,
+        rules_sched,
+    )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run rule selection and severity policy.
+
+    ``disable`` wins over everything; ``enable`` opts default-off rules
+    in.  ``severity`` maps rule codes to overridden severities.  The
+    config is immutable and picklable so it can ride into experiment
+    worker processes unchanged.
+    """
+
+    disable: FrozenSet[str] = frozenset()
+    enable: FrozenSet[str] = frozenset()
+    severity: "Dict[str, str]" = field(default_factory=dict)
+    #: Strict gates treat lint errors as compilation failures.
+    strict: bool = False
+    #: The differential rule checks one loop in ``sample`` (>= 1).
+    differential_sample: int = 1
+
+    def __post_init__(self) -> None:
+        for code, severity in self.severity.items():
+            if severity not in SEVERITIES:
+                raise ValueError(
+                    f"unknown severity {severity!r} for {code}"
+                )
+        if self.differential_sample < 1:
+            raise ValueError("differential_sample must be >= 1")
+
+    def is_enabled(self, rule: Rule) -> bool:
+        """Whether ``rule`` runs under this configuration."""
+        if rule.code in self.disable:
+            return False
+        if not rule.default_enabled:
+            return rule.code in self.enable
+        return True
+
+    def severity_for(self, rule: Rule) -> str:
+        """Effective severity of ``rule`` under this configuration."""
+        return self.severity.get(rule.code, rule.default_severity)
+
+
+#: The everything-on-defaults configuration used by gates and tests.
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,252 @@
+"""``ASSIGN3xx`` — legality of the cluster-annotated graph.
+
+The annotated DDG is the paper's central hand-off: the scheduler is
+allowed to be cluster-oblivious *only because* the annotated graph is
+legal by construction.  These rules re-derive that legality from
+scratch — every cross-cluster value flow must be carried by a copy
+chain, every copy must route through the interconnect, and the copy
+metadata (targets, transported value) must be internally consistent.
+"""
+
+from __future__ import annotations
+
+from .registry import Finding, rule
+
+
+def _node_label(annotated, node_id) -> str:
+    return str(annotated.ddg.node(node_id))
+
+
+@rule(
+    "ASSIGN301", "unassigned-node", "error",
+    "a node of the annotated graph has no cluster assignment",
+    requires=["annotated"], artifact="annotated",
+)
+def check_unassigned_nodes(target, config):
+    annotated = target.annotated
+    for node_id in annotated.ddg.node_ids:
+        if node_id not in annotated.cluster_of:
+            yield Finding(
+                location=f"node {node_id}",
+                message=f"{_node_label(annotated, node_id)} is not in "
+                        f"the cluster map",
+            )
+
+
+@rule(
+    "ASSIGN302", "cluster-out-of-range", "error",
+    "a node is assigned to a cluster index the machine does not have",
+    requires=["annotated"], artifact="annotated",
+)
+def check_cluster_range(target, config):
+    annotated = target.annotated
+    valid = set(annotated.machine.cluster_indices)
+    for node_id, cluster in sorted(annotated.cluster_of.items()):
+        if cluster not in valid:
+            yield Finding(
+                location=f"node {node_id}",
+                message=(
+                    f"node {node_id} assigned to cluster {cluster}, "
+                    f"machine has clusters {sorted(valid)}"
+                ),
+            )
+
+
+@rule(
+    "ASSIGN303", "cross-cluster-value-flow", "error",
+    "a value edge crosses clusters without being carried by a copy",
+    requires=["annotated"], artifact="annotated",
+)
+def check_cross_cluster_flow(target, config):
+    annotated = target.annotated
+    ddg = annotated.ddg
+    cluster_of = annotated.cluster_of
+    for edge in ddg.edges:
+        src_cluster = cluster_of.get(edge.src)
+        dst_cluster = cluster_of.get(edge.dst)
+        if src_cluster is None or dst_cluster is None:
+            continue  # ASSIGN301 reports the missing assignment
+        if src_cluster == dst_cluster:
+            continue
+        src = ddg.node(edge.src)
+        if src.is_copy:
+            continue  # ASSIGN306 checks copy fan-out legality
+        if not src.produces_value:
+            continue  # memory/control ordering edges cross freely
+        yield Finding(
+            location=f"edge {edge.src}->{edge.dst}",
+            message=(
+                f"value of {src} (cluster {src_cluster}) consumed by "
+                f"{ddg.node(edge.dst)} on cluster {dst_cluster} "
+                f"without a copy"
+            ),
+            hint="the assignment phase must insert a copy chain here",
+        )
+
+
+@rule(
+    "ASSIGN304", "copy-unroutable-hop", "error",
+    "a copy's source and target clusters are not one interconnect hop "
+    "apart",
+    requires=["annotated"], artifact="annotated",
+)
+def check_copy_routability(target, config):
+    annotated = target.annotated
+    fabric = annotated.machine.interconnect
+    for copy_id, targets in sorted(annotated.copy_targets.items()):
+        src_cluster = annotated.cluster_of.get(copy_id)
+        if src_cluster is None:
+            continue
+        for dst_cluster in targets:
+            if dst_cluster == src_cluster:
+                yield Finding(
+                    location=f"copy {copy_id}",
+                    message=f"copy {copy_id} targets its own cluster "
+                            f"{src_cluster}",
+                )
+            elif not fabric.reachable(src_cluster, dst_cluster):
+                yield Finding(
+                    location=f"copy {copy_id}",
+                    message=(
+                        f"copy {copy_id} hops from cluster "
+                        f"{src_cluster} to unreachable cluster "
+                        f"{dst_cluster}"
+                    ),
+                    hint="multi-hop moves need one copy per hop",
+                )
+
+
+@rule(
+    "ASSIGN305", "orphaned-copy", "warning",
+    "a copy whose transported value is never consumed wastes ports "
+    "and a channel slot every iteration",
+    requires=["annotated"], artifact="annotated",
+)
+def check_orphaned_copies(target, config):
+    annotated = target.annotated
+    ddg = annotated.ddg
+    for copy_id in annotated.copy_nodes:
+        if not ddg.out_edges(copy_id):
+            yield Finding(
+                location=f"copy {copy_id}",
+                message=f"copy {copy_id} has no consumers",
+                hint="the assignment left a dead copy behind",
+            )
+
+
+@rule(
+    "ASSIGN306", "copy-target-mismatch", "error",
+    "a copy feeds a cluster that is not among its declared targets",
+    requires=["annotated"], artifact="annotated",
+)
+def check_copy_target_mismatch(target, config):
+    annotated = target.annotated
+    ddg = annotated.ddg
+    cluster_of = annotated.cluster_of
+    for copy_id in annotated.copy_nodes:
+        targets = annotated.copy_targets.get(copy_id)
+        if targets is None:
+            continue  # ASSIGN308 reports the missing metadata
+        own = cluster_of.get(copy_id)
+        for edge in ddg.out_edges(copy_id):
+            consumer_cluster = cluster_of.get(edge.dst)
+            if consumer_cluster is None or consumer_cluster == own:
+                continue
+            if consumer_cluster not in targets:
+                yield Finding(
+                    location=f"copy {copy_id}",
+                    message=(
+                        f"copy {copy_id} feeds "
+                        f"{ddg.node(edge.dst)} on cluster "
+                        f"{consumer_cluster} but only targets "
+                        f"{tuple(targets)}"
+                    ),
+                )
+
+
+@rule(
+    "ASSIGN307", "broadcast-on-p2p", "error",
+    "a multi-target copy on a fabric that cannot broadcast",
+    requires=["annotated"], artifact="annotated",
+)
+def check_broadcast_legality(target, config):
+    annotated = target.annotated
+    if annotated.machine.interconnect.broadcast:
+        return
+    for copy_id, targets in sorted(annotated.copy_targets.items()):
+        if len(targets) > 1:
+            yield Finding(
+                location=f"copy {copy_id}",
+                message=(
+                    f"copy {copy_id} targets {len(targets)} clusters "
+                    f"{tuple(targets)} on a point-to-point fabric"
+                ),
+                hint="point-to-point copies deliver to exactly one "
+                     "neighbor",
+            )
+
+
+@rule(
+    "ASSIGN308", "copy-metadata-missing", "error",
+    "a copy node without target/value metadata cannot be resourced or "
+    "register-allocated",
+    requires=["annotated"], artifact="annotated",
+)
+def check_copy_metadata(target, config):
+    annotated = target.annotated
+    for copy_id in annotated.copy_nodes:
+        targets = annotated.copy_targets.get(copy_id)
+        if not targets:
+            yield Finding(
+                location=f"copy {copy_id}",
+                message=f"copy {copy_id} has no target clusters "
+                        f"recorded",
+            )
+        if copy_id not in annotated.copy_value_of:
+            yield Finding(
+                location=f"copy {copy_id}",
+                message=f"copy {copy_id} does not record which value "
+                        f"it transports",
+            )
+
+
+@rule(
+    "ASSIGN309", "copy-chain-break", "error",
+    "a copy's dataflow input does not deliver the value it claims to "
+    "transport in the same iteration",
+    requires=["annotated"], artifact="annotated",
+)
+def check_copy_chains(target, config):
+    annotated = target.annotated
+    ddg = annotated.ddg
+    for copy_id in annotated.copy_nodes:
+        value = annotated.copy_value_of.get(copy_id)
+        if value is None:
+            continue  # ASSIGN308 reports the missing metadata
+        in_edges = ddg.in_edges(copy_id)
+        if not in_edges:
+            yield Finding(
+                location=f"copy {copy_id}",
+                message=f"copy {copy_id} reads nothing",
+            )
+            continue
+        for edge in in_edges:
+            if edge.distance != 0:
+                yield Finding(
+                    location=f"copy {copy_id}",
+                    message=(
+                        f"copy {copy_id} reads its input at distance "
+                        f"{edge.distance}; producers feed copies in "
+                        f"the same iteration"
+                    ),
+                )
+            carried = annotated.copy_value_of.get(edge.src, edge.src)
+            if carried != value:
+                yield Finding(
+                    location=f"copy {copy_id}",
+                    message=(
+                        f"copy {copy_id} transports value {value} but "
+                        f"reads node {edge.src} which carries value "
+                        f"{carried}"
+                    ),
+                )

@@ -1,0 +1,216 @@
+"""``MACH2xx`` — machine-description consistency.
+
+A machine that fails these rules can silently make whole opcode
+classes unschedulable or strand values on clusters they can never
+leave, which surfaces much later as mysterious II blow-ups.  The rules
+re-derive everything from the public machine protocol (clusters,
+interconnect, resource capacities) rather than trusting the preset
+constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..machine.units import REAL_FU_CLASSES
+from .registry import Finding, rule
+
+#: (rule code, machine id) -> (machine, findings).  Machine rules are
+#: pure functions of an immutable machine description, and the ``--lint``
+#: pipeline gate re-lints the *same* machine once per compiled loop, so
+#: the derived findings are memoized per machine object.  The machine
+#: itself is kept in the entry so its ``id`` cannot be recycled while
+#: the memo is alive; the memo is bounded (experiments use a handful of
+#: machines at most).
+_MACHINE_MEMO: Dict[Tuple[str, int], Tuple[object, tuple]] = {}
+
+
+def _per_machine(code: str, machine, derive: Callable) -> tuple:
+    key = (code, id(machine))
+    entry = _MACHINE_MEMO.get(key)
+    if entry is not None and entry[0] is machine:
+        return entry[1]
+    findings = tuple(derive(machine))
+    if len(_MACHINE_MEMO) >= 256:
+        _MACHINE_MEMO.clear()
+    _MACHINE_MEMO[key] = (machine, findings)
+    return findings
+
+
+@rule(
+    "MACH201", "empty-cluster", "error",
+    "a cluster with zero function units can execute nothing",
+    requires=["machine"], artifact="machine",
+)
+def check_empty_clusters(target, config):
+    return _per_machine(
+        "MACH201", target.effective_machine, _derive_empty_clusters
+    )
+
+
+def _derive_empty_clusters(machine):
+    for cluster in machine.clusters:
+        if cluster.width <= 0:
+            yield Finding(
+                location=f"cluster {cluster.index}",
+                message=f"{cluster.name} has issue width "
+                        f"{cluster.width}",
+            )
+
+
+@rule(
+    "MACH202", "unsupported-fu-class", "warning",
+    "no cluster has a unit for some function-unit class, so every "
+    "loop using that class is unschedulable on this machine",
+    requires=["machine"], artifact="machine",
+)
+def check_unsupported_fu_classes(target, config):
+    return _per_machine(
+        "MACH202", target.effective_machine, _derive_unsupported_fu
+    )
+
+
+def _derive_unsupported_fu(machine):
+    if machine.general_purpose:
+        return
+    for fu_class in REAL_FU_CLASSES:
+        if machine.issue_capacity(fu_class) <= 0:
+            yield Finding(
+                location=f"fu-class {fu_class.value}",
+                message=(
+                    f"machine-wide capacity for {fu_class.value} "
+                    f"operations is 0"
+                ),
+                hint="loops with this opcode class can never compile",
+            )
+
+
+@rule(
+    "MACH203", "unroutable-cluster-pair", "error",
+    "the interconnect has no route between some cluster pair, so a "
+    "value produced on one can never reach the other",
+    requires=["machine"], artifact="machine",
+)
+def check_unroutable_pairs(target, config):
+    return _per_machine(
+        "MACH203", target.effective_machine, _derive_unroutable_pairs
+    )
+
+
+def _derive_unroutable_pairs(machine):
+    indices = machine.cluster_indices
+    for a in indices:
+        for b in indices:
+            if a >= b:
+                continue
+            try:
+                machine.interconnect.route(a, b)
+            except ValueError:
+                yield Finding(
+                    location=f"clusters {a}<->{b}",
+                    message=f"no interconnect route between cluster "
+                            f"{a} and cluster {b}",
+                    hint="add a link, or drop the stranded cluster",
+                )
+
+
+@rule(
+    "MACH204", "portless-cluster", "warning",
+    "a clustered machine where some cluster has zero communication "
+    "read or write ports cannot move values in or out of it",
+    requires=["machine"], artifact="machine",
+)
+def check_portless_clusters(target, config):
+    return _per_machine(
+        "MACH204", target.effective_machine, _derive_portless_clusters
+    )
+
+
+def _derive_portless_clusters(machine):
+    if machine.is_unified:
+        return
+    for cluster in machine.clusters:
+        if cluster.read_ports <= 0:
+            yield Finding(
+                location=f"cluster {cluster.index}",
+                message=f"{cluster.name} has no read ports: it can "
+                        f"never send a value to another cluster",
+            )
+        if cluster.write_ports <= 0:
+            yield Finding(
+                location=f"cluster {cluster.index}",
+                message=f"{cluster.name} has no write ports: it can "
+                        f"never receive a value from another cluster",
+            )
+
+
+@rule(
+    "MACH205", "channel-inconsistency", "error",
+    "the interconnect's hop channels and its advertised channel pools "
+    "disagree (bus vs point-to-point bookkeeping mismatch)",
+    requires=["machine"], artifact="machine",
+)
+def check_channel_consistency(target, config):
+    return _per_machine(
+        "MACH205", target.effective_machine, _derive_channel_consistency
+    )
+
+
+def _derive_channel_consistency(machine):
+    if machine.is_unified:
+        return
+    fabric = machine.interconnect
+    pools = fabric.channel_resources()
+    if fabric.broadcast and not pools:
+        yield Finding(
+            location="interconnect",
+            message="broadcast fabric advertises no channel pools",
+        )
+        return
+    indices = machine.cluster_indices
+    for a in indices:
+        for b in indices:
+            if a == b or not fabric.reachable(a, b):
+                continue
+            try:
+                channel = fabric.channel_for_hop(a, b)
+            except ValueError as exc:
+                yield Finding(
+                    location=f"hop {a}->{b}",
+                    message=f"reachable hop has no channel: {exc}",
+                )
+                continue
+            if channel not in pools:
+                yield Finding(
+                    location=f"hop {a}->{b}",
+                    message=(
+                        f"hop channel {channel!r} is not in the "
+                        f"advertised channel pools"
+                    ),
+                    hint="channel_for_hop and channel_resources must "
+                         "agree",
+                )
+
+
+@rule(
+    "MACH206", "zero-capacity-channel", "error",
+    "a channel pool with per-cycle capacity <= 0 blocks every copy "
+    "routed through it",
+    requires=["machine"], artifact="machine",
+)
+def check_zero_capacity_channels(target, config):
+    return _per_machine(
+        "MACH206", target.effective_machine, _derive_zero_capacity
+    )
+
+
+def _derive_zero_capacity(machine):
+    for channel, capacity in sorted(
+        machine.interconnect.channel_resources().items(), key=str
+    ):
+        if capacity <= 0:
+            yield Finding(
+                location=f"channel {channel!r}",
+                message=f"channel pool {channel!r} has capacity "
+                        f"{capacity}",
+            )

@@ -1,0 +1,141 @@
+"""``REG5xx`` — register lifetime / MVE allocation consistency.
+
+A modulo schedule is only executable once every value survives until
+its last read, which for software pipelines means cyclic-interval
+packing under modulo variable expansion (:mod:`repro.regalloc`).  These
+rules re-derive the lifetime set and cross-check the allocator's
+output: no two values may share a (cluster, register, cycle) slot, the
+unroll factor must cover the longest lifetime, and lifetimes themselves
+must be causally sane.
+"""
+
+from __future__ import annotations
+
+from .registry import Finding, rule
+
+
+def _lifetimes(target):
+    """Extract (once per target) the schedule's value lifetimes."""
+    if "lifetimes" not in target.cache:
+        from ..regalloc.lifetimes import extract_lifetimes
+
+        target.cache["lifetimes"] = extract_lifetimes(target.schedule)
+    return target.cache["lifetimes"]
+
+
+def _allocation(target):
+    """Run (once per target) the MVE allocator on the schedule.
+
+    Tests may pre-seed ``target.cache["allocation"]`` with a corrupted
+    allocation to exercise the consistency rules.
+    """
+    if "allocation" not in target.cache:
+        from ..regalloc.mve import allocate_mve
+
+        target.cache["allocation"] = allocate_mve(
+            target.schedule, _lifetimes(target)
+        )
+    return target.cache["allocation"]
+
+
+@rule(
+    "REG501", "register-overlap", "error",
+    "two live values share a (cluster, register, cycle) slot in the "
+    "MVE allocation",
+    requires=["schedule"], artifact="regalloc",
+)
+def check_register_overlaps(target, config):
+    from ..regalloc.mve import verify_allocation
+
+    for problem in verify_allocation(_allocation(target)):
+        yield Finding(location="allocation", message=problem)
+
+
+@rule(
+    "REG502", "mve-unroll-mismatch", "error",
+    "the allocation's kernel unroll factor does not cover the longest "
+    "value lifetime",
+    requires=["schedule"], artifact="regalloc",
+)
+def check_unroll_factor(target, config):
+    allocation = _allocation(target)
+    ii = target.schedule.ii
+    if ii < 1:
+        return
+    needed = 1
+    for lt in _lifetimes(target):
+        instances = -(-(lt.death - lt.birth) // ii)
+        if instances > needed:
+            needed = instances
+    if allocation.unroll != needed:
+        yield Finding(
+            location="unroll",
+            message=(
+                f"allocation unrolls the kernel {allocation.unroll}x "
+                f"but the longest lifetime needs {needed} "
+                f"simultaneously live instance(s)"
+            ),
+            hint="an under-unrolled kernel clobbers live values",
+        )
+
+
+@rule(
+    "REG503", "dead-value", "info",
+    "a value-producing operation with no consumers occupies an issue "
+    "slot for nothing",
+    requires=["schedule"], artifact="regalloc",
+)
+def check_dead_values(target, config):
+    ddg = target.schedule.annotated.ddg
+    has_consumer = {edge.src for edge in ddg.edges}
+    for node in ddg.nodes:
+        if node.is_copy:
+            continue  # ASSIGN305 covers dead copies
+        if node.produces_value and node.node_id not in has_consumer:
+            yield Finding(
+                location=f"node {node.node_id}",
+                message=f"{node} produces a value nothing reads",
+            )
+
+
+@rule(
+    "REG504", "negative-lifetime", "error",
+    "a value dies before it is born: some consumer reads it before "
+    "the producer completes (implies a dependence violation)",
+    requires=["schedule"], artifact="regalloc",
+)
+def check_negative_lifetimes(target, config):
+    for lifetime in _lifetimes(target):
+        if lifetime.death < lifetime.birth:
+            yield Finding(
+                location=f"node {lifetime.producer}",
+                message=(
+                    f"value of node {lifetime.producer} on cluster "
+                    f"{lifetime.cluster} born at cycle "
+                    f"{lifetime.birth} but last read at cycle "
+                    f"{lifetime.death}"
+                ),
+            )
+
+
+@rule(
+    "REG505", "lifetime-exceeds-span", "error",
+    "a lifetime longer than the unrolled kernel span would be "
+    "clobbered by the next expanded iteration",
+    requires=["schedule"], artifact="regalloc",
+)
+def check_lifetime_span(target, config):
+    allocation = _allocation(target)
+    span = allocation.span
+    if span < 1:
+        return
+    for lifetime in _lifetimes(target):
+        if lifetime.length > span:
+            yield Finding(
+                location=f"node {lifetime.producer}",
+                message=(
+                    f"value of node {lifetime.producer} lives "
+                    f"{lifetime.length} cycles, longer than the "
+                    f"{span}-cycle unrolled kernel"
+                ),
+            )

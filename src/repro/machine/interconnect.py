@@ -26,7 +26,7 @@ and the resource tables:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
 
 import networkx as nx
 

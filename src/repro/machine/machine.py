@@ -16,8 +16,8 @@ Resource keys
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from ..ddg.opcodes import FuClass, Opcode, fu_class_of
 from .cluster import ClusterSpec

@@ -12,7 +12,7 @@ Builders for every configuration the evaluation sweeps over:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .cluster import ClusterSpec
 from .interconnect import (

@@ -10,15 +10,18 @@ the paper's reference [21]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import List, NamedTuple
 
 from ..scheduling.schedule import Schedule
 
 
-@dataclass(frozen=True)
-class Lifetime:
-    """One value's live range in absolute cycles of iteration 0."""
+class Lifetime(NamedTuple):
+    """One value's live range in absolute cycles of iteration 0.
+
+    A ``NamedTuple`` rather than a dataclass: the lint gate re-extracts
+    lifetimes for every compiled loop, and tuple construction is the
+    bulk of that cost.
+    """
 
     producer: int
     cluster: int
@@ -47,35 +50,33 @@ def extract_lifetimes(schedule: Schedule) -> List[Lifetime]:
     annotated = schedule.annotated
     ddg = annotated.ddg
     ii = schedule.ii
+    start = schedule.start
+    cluster_of = annotated.cluster_of
+    # One sweep over the edges: last read of each producer's value per
+    # consuming cluster.  (The value dies at its last read *on this
+    # cluster* — a broadcast copy's value may retire earlier on one
+    # target than another.)
+    last_read: dict = {}
+    for edge in ddg.edges:
+        death = start[edge.dst] + ii * edge.distance
+        key = (edge.src, cluster_of[edge.dst])
+        prior = last_read.get(key)
+        if prior is None or death > prior:
+            last_read[key] = death
     lifetimes: List[Lifetime] = []
     for node in ddg.nodes:
         if not node.produces_value:
             continue
-        uses = ddg.out_edges(node.node_id)
-        if not uses:
-            continue
-        birth = schedule.start[node.node_id] + node.latency
+        birth = start[node.node_id] + node.latency
         if node.is_copy:
-            clusters = list(annotated.copy_targets[node.node_id])
+            clusters = annotated.copy_targets[node.node_id]
         else:
-            clusters = [annotated.cluster_of[node.node_id]]
+            clusters = (cluster_of[node.node_id],)
         for cluster in clusters:
-            # The value dies at its last read *on this cluster* (a
-            # broadcast copy's value may retire earlier on one target
-            # than another).
-            reads = [
-                schedule.start[edge.dst] + ii * edge.distance
-                for edge in uses
-                if annotated.cluster_of[edge.dst] == cluster
-            ]
-            if not reads:
+            death = last_read.get((node.node_id, cluster))
+            if death is None:
                 continue
             lifetimes.append(
-                Lifetime(
-                    producer=node.node_id,
-                    cluster=cluster,
-                    birth=birth,
-                    death=max(reads),
-                )
+                Lifetime(node.node_id, cluster, birth, death)
             )
     return lifetimes

@@ -17,15 +17,19 @@ bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..scheduling.schedule import Schedule
 from .lifetimes import Lifetime, extract_lifetimes
 
 
-@dataclass(frozen=True)
-class RegisterAssignment:
-    """One unroll instance of one value mapped to a physical register."""
+class RegisterAssignment(NamedTuple):
+    """One unroll instance of one value mapped to a physical register.
+
+    A ``NamedTuple``: allocations are rebuilt per compiled loop on the
+    lint gate's hot path, and one assignment exists per unroll instance
+    per lifetime.
+    """
 
     producer: int
     cluster: int
@@ -69,11 +73,36 @@ def _occupied_cycles(start: int, length: int, span: int) -> List[int]:
     return [(start + offset) % span for offset in range(min(length, span))]
 
 
-def allocate_mve(schedule: Schedule) -> MveAllocation:
-    """Allocate registers for ``schedule`` by MVE + first-fit packing."""
+def _occupied_mask(start: int, length: int, span: int) -> int:
+    """Bitmask form of :func:`_occupied_cycles` (bit c = cycle c busy).
+
+    A full-span lifetime wraps onto every cycle, so the mask saturates
+    at ``span`` set bits.  Built as one contiguous bit block shifted to
+    ``start mod span``; since ``length <= span`` the block wraps around
+    the kernel end at most once, so folding the overflow back with a
+    single shift is exact.
+    """
+    length = max(1, min(length, span))
+    block = ((1 << length) - 1) << (start % span)
+    return (block >> span) | (block & ((1 << span) - 1))
+
+
+def allocate_mve(
+    schedule: Schedule, lifetimes: Optional[List[Lifetime]] = None
+) -> MveAllocation:
+    """Allocate registers for ``schedule`` by MVE + first-fit packing.
+
+    ``lifetimes`` lets a caller that already extracted the schedule's
+    lifetimes (the REG5xx lint rules do) skip the second extraction.
+    """
     ii = schedule.ii
-    lifetimes = extract_lifetimes(schedule)
-    unroll = max((lt.instances(ii) for lt in lifetimes), default=1)
+    if lifetimes is None:
+        lifetimes = extract_lifetimes(schedule)
+    unroll = 1
+    for lifetime in lifetimes:
+        instances = -(-(lifetime.death - lifetime.birth) // ii)
+        if instances > unroll:
+            unroll = instances
     span = unroll * ii
     allocation = MveAllocation(ii=ii, unroll=unroll)
 
@@ -82,41 +111,75 @@ def allocate_mve(schedule: Schedule) -> MveAllocation:
         by_cluster.setdefault(lifetime.cluster, []).append(lifetime)
 
     for cluster, cluster_lifetimes in sorted(by_cluster.items()):
-        # Longest lifetimes first: classic first-fit-decreasing.
+        # Longest lifetimes first: classic first-fit-decreasing.  Each
+        # register's occupancy is one int bitmask over the span, so the
+        # fit probe is a single AND instead of a per-cycle scan.
         cluster_lifetimes.sort(key=lambda lt: (-lt.length, lt.producer))
-        register_busy: List[List[bool]] = []
+        register_busy: List[int] = []
+        emit = allocation.assignments.append
+        full = (1 << span) - 1
         for lifetime in cluster_lifetimes:
+            length = lifetime.death - lifetime.birth
+            if length < 0:
+                length = 0
+            # _occupied_mask inlined: the bit block is built once per
+            # lifetime, and each unroll instance shifts the start row
+            # by II (mod span) rather than recomputing it.
+            block_bits = (1 << max(1, min(length, span))) - 1
+            row = lifetime.birth % span
             for instance in range(unroll):
-                start = lifetime.birth + instance * ii
-                cycles = _occupied_cycles(start, lifetime.length, span)
+                block = block_bits << row
+                mask = (block >> span) | (block & full)
                 chosen = None
                 for register, busy in enumerate(register_busy):
-                    if all(not busy[c] for c in cycles):
+                    if not busy & mask:
                         chosen = register
                         break
                 if chosen is None:
-                    register_busy.append([False] * span)
+                    register_busy.append(0)
                     chosen = len(register_busy) - 1
-                for c in cycles:
-                    register_busy[chosen][c] = True
-                allocation.assignments.append(
+                register_busy[chosen] |= mask
+                emit(
                     RegisterAssignment(
-                        producer=lifetime.producer,
-                        cluster=cluster,
-                        instance=instance,
-                        register=chosen,
-                        start_cycle=start % span,
-                        length=lifetime.length,
+                        lifetime.producer, cluster, instance,
+                        chosen, row, length,
                     )
                 )
+                row += ii
+                if row >= span:
+                    row -= span
         allocation.registers_per_cluster[cluster] = len(register_busy)
     return allocation
 
 
 def verify_allocation(allocation: MveAllocation) -> List[str]:
-    """Independent overlap check; returns violations (empty = valid)."""
-    problems: List[str] = []
+    """Independent overlap check; returns violations (empty = valid).
+
+    The clean path is a bitmask sweep per (cluster, register); only
+    when some mask collides (or a register escapes its file) does the
+    slow cycle-by-cycle walk run to name the offending value pairs.
+    """
     span = allocation.span
+    masks: Dict[Tuple[int, int], int] = {}
+    file_sizes = allocation.registers_per_cluster
+    full = (1 << span) - 1
+    clean = True
+    for _, cluster, _, register, start_cycle, length in (
+        allocation.assignments
+    ):
+        key = (cluster, register)
+        block = ((1 << max(1, min(length, span))) - 1) << (
+            start_cycle % span
+        )
+        mask = (block >> span) | (block & full)
+        busy = masks.get(key, 0)
+        if busy & mask or register >= file_sizes.get(cluster, 0):
+            clean = False
+            break
+        masks[key] = busy | mask
+    if clean:
+        return []
+    problems: List[str] = []
     occupancy: Dict[Tuple[int, int, int], RegisterAssignment] = {}
     for assignment in allocation.assignments:
         for cycle in _occupied_cycles(

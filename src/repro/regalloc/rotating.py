@@ -22,7 +22,7 @@ disjointness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..scheduling.schedule import Schedule
 from .lifetimes import Lifetime, extract_lifetimes

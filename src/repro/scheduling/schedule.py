@@ -7,7 +7,7 @@ row ``start[op] % II`` in stage ``start[op] // II``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from ..ddg.transform import AnnotatedDdg

@@ -19,7 +19,7 @@ Repeat until a sweep makes no improvement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..ddg.graph import Ddg
 from .schedule import Schedule

@@ -1,19 +1,33 @@
 """Independent modulo-schedule validity checking.
 
-The checker re-derives every constraint from scratch (it shares no state
-with the scheduler): dependence inequalities under the modulo timing
-model, per-row resource capacities, and cross-cluster dataflow legality of
-the annotated graph.  Tests and the experiment harness run it on every
-schedule produced.
+Since the introduction of :mod:`repro.lint` this module is a thin
+compatibility wrapper: the actual constraint re-derivation lives in the
+``SCHED4xx`` rule family (dependence inequalities, per-row resource
+capacities via the reservation table's compiled demand profiles,
+structural legality of the annotated graph).  ``check_schedule`` runs
+those rules and maps each error-severity diagnostic back onto the
+historical :class:`Violation` kinds, so every pre-existing caller and
+test keeps working unchanged — now with stable diagnostic codes
+attached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List
 
-from ..machine.machine import ResourceKey
 from .schedule import Schedule
+
+#: Historical violation kind for each gating schedule-rule code.
+_KIND_OF_CODE = {
+    "SCHED401": "dependence",
+    "SCHED402": "resource",
+    "SCHED403": "structure",
+    "SCHED404": "structure",
+    "SCHED405": "structure",
+    "SCHED407": "resource",
+    "SCHED408": "resource",
+}
 
 
 @dataclass
@@ -22,64 +36,41 @@ class Violation:
 
     kind: str
     detail: str
+    #: Stable diagnostic code (``SCHED4xx``); empty for hand-built
+    #: violations from before the lint subsystem existed.
+    code: str = ""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.code:
+            return f"[{self.kind}:{self.code}] {self.detail}"
         return f"[{self.kind}] {self.detail}"
 
 
 def check_schedule(schedule: Schedule) -> List[Violation]:
     """Return every constraint violation of ``schedule`` (empty = valid)."""
-    violations: List[Violation] = []
-    annotated = schedule.annotated
-    ddg = annotated.ddg
-    ii = schedule.ii
+    from ..lint.engine import LintTarget, lint_target
+    from ..lint.registry import LintConfig, all_rules
 
-    # 1. Dependences: start(dst) >= start(src) + latency(src) - II*distance.
-    for edge in ddg.edges:
-        lower = (
-            schedule.start[edge.src]
-            + ddg.latency(edge.src)
-            - ii * edge.distance
+    # Gating rules only: every SCHED4xx rule that defaults to error
+    # severity.  Warnings/infos (pipeline-depth heuristics), other
+    # families, and the expensive differential cross-check never made a
+    # schedule invalid here.
+    keep = set(_KIND_OF_CODE)
+    config = LintConfig(
+        disable=frozenset(
+            rule.code for rule in all_rules() if rule.code not in keep
         )
-        if schedule.start[edge.dst] < lower:
-            violations.append(
-                Violation(
-                    kind="dependence",
-                    detail=(
-                        f"{ddg.node(edge.src)} -> {ddg.node(edge.dst)} "
-                        f"(distance {edge.distance}): start "
-                        f"{schedule.start[edge.dst]} < required {lower}"
-                    ),
-                )
-            )
-
-    # 2. Resources: per (key, row) usage within per-cycle capacity.
-    capacities = annotated.machine.resource_capacities()
-    usage: Dict[Tuple[ResourceKey, int], int] = {}
-    for node_id in ddg.node_ids:
-        row = schedule.row(node_id)
-        for key in annotated.resources_of(node_id):
-            usage[(key, row)] = usage.get((key, row), 0) + 1
-    for (key, row), count in sorted(usage.items(), key=str):
-        capacity = capacities.get(key, 0)
-        if count > capacity:
-            violations.append(
-                Violation(
-                    kind="resource",
-                    detail=(
-                        f"resource {key!r} oversubscribed in kernel row "
-                        f"{row}: {count} > {capacity}"
-                    ),
-                )
-            )
-
-    # 3. Structural legality of the clustered dataflow.
-    try:
-        annotated.validate()
-    except ValueError as exc:
-        violations.append(Violation(kind="structure", detail=str(exc)))
-
-    return violations
+    )
+    report = lint_target(LintTarget(schedule=schedule), config)
+    return [
+        Violation(
+            kind=_KIND_OF_CODE.get(diag.code, "structure"),
+            detail=diag.message,
+            code=diag.code,
+        )
+        for diag in report.diagnostics
+        if diag.code in keep and diag.is_error
+    ]
 
 
 def assert_valid(schedule: Schedule) -> None:

@@ -25,7 +25,7 @@ the schedule never oversubscribes the hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..ddg.graph import Ddg
 from ..scheduling.schedule import Schedule

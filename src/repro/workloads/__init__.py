@@ -1,6 +1,13 @@
 """Loop workloads: synthetic suite, hand-written kernels, statistics."""
 
-from .corpus import dumps_corpus, load_corpus, loads_corpus, save_corpus
+from .corpus import (
+    bundled_corpus,
+    bundled_corpus_path,
+    dumps_corpus,
+    load_corpus,
+    loads_corpus,
+    save_corpus,
+)
 from .fingerprint import ddg_fingerprint
 from .kernels import all_kernels, build_kernel, kernel_names
 from .stats import StatRow, SuiteStatistics, suite_statistics
@@ -16,6 +23,8 @@ __all__ = [
     "SuiteStatistics",
     "all_kernels",
     "build_kernel",
+    "bundled_corpus",
+    "bundled_corpus_path",
     "ddg_fingerprint",
     "dumps_corpus",
     "generate_loop",

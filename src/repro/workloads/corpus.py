@@ -18,6 +18,7 @@ tool without touching Python.
 
 from __future__ import annotations
 
+import os
 import re
 from typing import List
 
@@ -80,3 +81,20 @@ def load_corpus(path: str) -> List[Ddg]:
     """Read a corpus file."""
     with open(path) as handle:
         return loads_corpus(handle.read())
+
+
+def bundled_corpus_path() -> str:
+    """Path of the corpus file shipped inside the package.
+
+    A frozen snapshot of ``paper_suite(64)`` (every hand-written kernel
+    plus deterministic synthetic fill) — the fixed input set the
+    ``repro lint`` CI gate and quick local runs analyze.
+    """
+    return os.path.join(
+        os.path.dirname(__file__), "data", "bundled_corpus.txt"
+    )
+
+
+def bundled_corpus() -> List[Ddg]:
+    """Load the corpus bundled with the package."""
+    return load_corpus(bundled_corpus_path())

@@ -18,7 +18,7 @@ fractional recurrences.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..ddg.graph import Ddg
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import Campaign, campaign_to_markdown, run_campaign
+from repro.analysis import campaign_to_markdown, run_campaign
 from repro.workloads import paper_suite
 
 

@@ -1,6 +1,5 @@
 """Register pressure (MaxLive) analysis."""
 
-import pytest
 
 from repro.analysis.registers import (
     format_pressure,

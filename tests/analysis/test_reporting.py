@@ -1,6 +1,5 @@
 """Text report rendering."""
 
-import pytest
 
 from repro.analysis import (
     ExperimentResult,

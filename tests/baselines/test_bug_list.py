@@ -5,7 +5,7 @@ import pytest
 from repro.baselines import bug_list_schedule
 from repro.core import compile_loop
 from repro.ddg import Ddg, Opcode
-from repro.machine import two_cluster_gp, unified_gp
+from repro.machine import unified_gp
 from repro.workloads import all_kernels, build_kernel, unroll_ddg
 
 

@@ -8,7 +8,6 @@ from repro.codegen import (
     format_pipelined,
 )
 from repro.core import compile_loop
-from repro.machine import two_cluster_gp, unified_gp
 from repro.workloads import all_kernels, build_kernel
 
 

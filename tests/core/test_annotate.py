@@ -5,7 +5,6 @@ import pytest
 from repro.core import build_annotated, plan_copies
 from repro.core.copies import CopyPlan, CopySpec
 from repro.ddg import Ddg, Opcode
-from repro.machine import four_cluster_gp, four_cluster_grid, two_cluster_gp
 
 
 @pytest.fixture

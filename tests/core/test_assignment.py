@@ -10,12 +10,8 @@ from repro.core import (
     AssignmentStats,
     assign_clusters,
 )
-from repro.ddg import Ddg, Opcode, build_ddg, mii, trivial_annotation
-from repro.machine import (
-    four_cluster_grid,
-    two_cluster_gp,
-    unified_gp,
-)
+from repro.ddg import Ddg, Opcode
+from repro.machine import two_cluster_gp
 from repro.scheduling import assert_valid, modulo_schedule
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.core.assignment import AssignmentStats, _Assigner
 from repro.core.variants import HEURISTIC_ITERATIVE
 from repro.ddg import Ddg, Opcode
-from repro.machine import four_cluster_grid, two_cluster_gp
+from repro.machine import four_cluster_grid
 
 
 def _assigner(ddg, machine, ii):

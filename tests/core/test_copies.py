@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import RoutingState, plan_copies
 from repro.ddg import Ddg, Opcode
-from repro.machine import four_cluster_gp, four_cluster_grid, two_cluster_gp
 from repro.mrt import PoolOverflowError, ResourcePools
 
 

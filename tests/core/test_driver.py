@@ -1,16 +1,8 @@
 """The Figure 5 two-phase compilation driver."""
 
-import pytest
 
-from repro.core import (
-    CompilationError,
-    HEURISTIC_ITERATIVE,
-    SIMPLE,
-    compile_loop,
-)
+from repro.core import SIMPLE, compile_loop
 from repro.ddg import Ddg, Opcode, mii
-from repro.machine import two_cluster_gp, unified_gp
-from repro.scheduling import assert_valid
 
 
 class TestCompileLoop:

@@ -1,6 +1,5 @@
 """Assignment work-list construction (Section 4.1)."""
 
-import pytest
 
 from repro.core import build_assignment_order
 from repro.ddg import Ddg, Opcode

@@ -9,7 +9,7 @@ from repro.core import (
     upper_bound,
 )
 from repro.ddg import Ddg, Opcode
-from repro.machine import four_cluster_grid, two_cluster_gp
+from repro.machine import four_cluster_grid
 from repro.mrt import ResourcePools
 
 

@@ -1,6 +1,5 @@
 """Selection chains (Figures 9, 10 and 11)."""
 
-import pytest
 
 from repro.core import (
     CandidateInfo,

@@ -10,7 +10,6 @@ from repro.core import (
     NO_PREDICTION,
     SIMPLE,
     SIMPLE_ITERATIVE,
-    AssignmentConfig,
 )
 
 

@@ -1,6 +1,5 @@
 """SCC detection and criticality ordering."""
 
-import pytest
 
 from repro.ddg import Ddg, Opcode, find_sccs
 

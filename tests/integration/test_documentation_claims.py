@@ -4,7 +4,6 @@ Documentation that drifts from the code is worse than none; these tests
 pin the specific numbers and behaviors the docs promise.
 """
 
-import pytest
 
 from repro import (
     Opcode,

@@ -3,12 +3,7 @@ loudly and cleanly, never hang or silently succeed."""
 
 import pytest
 
-from repro.core import (
-    CompilationError,
-    HEURISTIC_ITERATIVE,
-    assign_clusters,
-    compile_loop,
-)
+from repro.core import CompilationError, assign_clusters, compile_loop
 from repro.ddg import Ddg, Opcode, build_ddg
 from repro.machine import (
     ClusterSpec,

@@ -11,7 +11,7 @@ copies modelled on ports as in the experimental sections).
 
 import pytest
 
-from repro.core import HEURISTIC_ITERATIVE, assign_clusters, compile_loop
+from repro.core import assign_clusters, compile_loop
 from repro.ddg import find_sccs, mii, rec_mii, res_mii
 from repro.machine import bused_machine, gp_units, unified_gp
 from repro.scheduling import assert_valid, modulo_schedule

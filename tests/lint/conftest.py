@@ -1,0 +1,31 @@
+"""Lint-suite plumbing: the auto-applied ``lint`` marker plus shared
+compiled artifacts every rule test inspects."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import compile_loop
+
+_LINT_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under tests/lint/ carries the ``lint`` marker.
+
+    The hook sees the whole collection, so filter by path (mirroring
+    the ``bench`` marker in benchmarks/conftest.py, which owns its own
+    rootdir and does not need to).
+    """
+    for item in items:
+        path = Path(str(item.fspath)).resolve()
+        if _LINT_DIR in path.parents:
+            item.add_marker(pytest.mark.lint)
+
+
+@pytest.fixture
+def compiled_chain(chain3, two_gp):
+    """chain3 compiled end to end on the 2-cluster bused machine."""
+    return compile_loop(chain3, two_gp)

@@ -1,0 +1,154 @@
+"""The ``repro lint`` subcommand and the ``--lint`` pipeline gates."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_LOOP = """\
+ld:  load
+mul: fp_mult <- ld
+st:  store   <- mul
+"""
+
+#: A combinational cycle: both edges at distance 0 (DDG103).
+DEFECTIVE_LOOP = """\
+a: alu <- b
+b: alu <- a
+"""
+
+
+@pytest.fixture
+def clean_loop_file(tmp_path):
+    path = tmp_path / "clean.loop"
+    path.write_text(CLEAN_LOOP)
+    return str(path)
+
+
+@pytest.fixture
+def defective_loop_file(tmp_path):
+    path = tmp_path / "cycle.loop"
+    path.write_text(DEFECTIVE_LOOP)
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_loop_exits_zero(self, clean_loop_file, capsys):
+        rc = main(["lint", clean_loop_file, "--machine", "2gp"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_defective_loop_exits_nonzero(
+        self, defective_loop_file, capsys
+    ):
+        rc = main([
+            "lint", defective_loop_file, "--format", "json",
+        ])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in doc["diagnostics"]}
+        assert "DDG103" in codes
+        assert doc["summary"]["ok"] is False
+
+    def test_disable_silences_a_rule(self, defective_loop_file, capsys):
+        rc = main([
+            "lint", defective_loop_file, "--fast",
+            "--disable", "DDG103",
+        ])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_severity_demotion_unblocks_exit(
+        self, defective_loop_file, capsys
+    ):
+        rc = main([
+            "lint", defective_loop_file, "--fast",
+            "--severity", "DDG103=warning", "--format", "json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["summary"]["warnings"] >= 1
+
+    def test_malformed_severity_flag_rejected(self, clean_loop_file):
+        with pytest.raises(SystemExit):
+            main([
+                "lint", clean_loop_file, "--fast",
+                "--severity", "DDG103",
+            ])
+
+    def test_fast_pass_emits_json(self, clean_loop_file, capsys):
+        rc = main([
+            "lint", clean_loop_file, "--fast", "--format", "json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["summary"]["ok"] is True
+
+    def test_sarif_output_file(self, clean_loop_file, tmp_path, capsys):
+        out_file = tmp_path / "report.sarif"
+        rc = main([
+            "lint", clean_loop_file, "--format", "sarif",
+            "--output", str(out_file),
+        ])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+
+    def test_kernels_on_both_preset_machines(self, capsys):
+        # The acceptance sweep (bused + point-to-point) over the
+        # hand-written paper kernels; the full bundled corpus runs in
+        # CI where the wall-time budget is larger.
+        for machine in ("2gp", "grid"):
+            rc = main([
+                "lint", "--kernels", "--suite", "2",
+                "--machine", machine, "--format", "json",
+            ])
+            doc = json.loads(capsys.readouterr().out)
+            assert rc == 0, doc
+            assert doc["summary"]["errors"] == 0
+
+
+class TestCompileGate:
+    def test_compile_with_lint_reports(self, clean_loop_file, capsys):
+        rc = main([
+            "compile", clean_loop_file, "--machine", "2gp", "--lint",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lint:" in out
+
+    def test_strict_gate_rejects(self, tmp_path, capsys):
+        # Promote the dead-value info rule to an error: the ALU result
+        # is never read, so the strict gate must refuse the compile.
+        path = tmp_path / "dead.loop"
+        path.write_text("ld: load\nsum: alu <- ld\n")
+        rc = main([
+            "compile", str(path), "--lint", "strict",
+            "--severity", "REG503=error",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "lint gate rejected" in captured.err
+        assert "REG503" in captured.err
+
+
+class TestExperimentGate:
+    def test_experiment_with_lint_gate(self, capsys):
+        rc = main([
+            "experiment", "--loops", "4", "--machine", "2gp", "--lint",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lint gate: 0 error(s)" in out
+
+    def test_experiment_json_carries_lint_block(self, capsys):
+        rc = main([
+            "experiment", "--loops", "4", "--machine", "2gp",
+            "--lint", "--json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["lint"]["errors"] == 0

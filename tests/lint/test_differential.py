@@ -1,0 +1,60 @@
+"""The SCHED490 differential cross-check against repro.baselines."""
+
+import zlib
+
+from repro.lint import LintConfig, LintTarget, lint_target
+
+DIFFERENTIAL = LintConfig(enable=frozenset({"SCHED490"}))
+
+
+class TestDifferentialRule:
+    def test_agreeing_pipelines_stay_silent(self, chain3, two_gp):
+        report = lint_target(
+            LintTarget(name=chain3.name, ddg=chain3, machine=two_gp),
+            DIFFERENTIAL,
+        )
+        assert report.ok
+        assert "SCHED490" not in report.codes()
+
+    def test_rule_off_by_default(self, chain3, two_gp):
+        target = LintTarget(
+            name=chain3.name, ddg=chain3, machine=two_gp
+        )
+        baseline = lint_target(target)
+        enabled = lint_target(target, DIFFERENTIAL)
+        assert enabled.rules_run == baseline.rules_run + 1
+
+    def test_sampling_skips_off_residue_loops(self, chain3, two_gp):
+        # Pick a sample size that excludes this loop's CRC residue:
+        # the rule still runs but must yield nothing without compiling.
+        sample = 1000003
+        assert zlib.crc32(chain3.name.encode()) % sample != 0
+        config = LintConfig(
+            enable=frozenset({"SCHED490"}),
+            differential_sample=sample,
+        )
+        report = lint_target(
+            LintTarget(name=chain3.name, ddg=chain3, machine=two_gp),
+            config,
+        )
+        assert "SCHED490" not in report.codes()
+
+    def test_divergence_reported(self, chain3, two_gp, monkeypatch):
+        import dataclasses
+
+        import repro.baselines as baselines
+
+        real = baselines.reference_compile_loop
+
+        def lie(ddg, machine, *args, **kwargs):
+            result = real(ddg, machine, *args, **kwargs)
+            return dataclasses.replace(result, ii=result.ii + 1)
+
+        monkeypatch.setattr(
+            baselines, "reference_compile_loop", lie
+        )
+        report = lint_target(
+            LintTarget(name=chain3.name, ddg=chain3, machine=two_gp),
+            DIFFERENTIAL,
+        )
+        assert "SCHED490" in [d.code for d in report.errors]

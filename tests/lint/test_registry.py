@@ -1,0 +1,99 @@
+"""The rule registry: stable codes, families, configuration policy."""
+
+import re
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    FAMILIES,
+    LintConfig,
+    all_rules,
+    rules_in_family,
+)
+
+CODE_PATTERN = re.compile(r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5)\d\d$")
+
+KNOWN_ARTIFACTS = {"graph", "machine", "annotated", "schedule"}
+
+
+class TestRegistry:
+    def test_every_code_is_well_formed(self):
+        for rule in all_rules():
+            assert CODE_PATTERN.match(rule.code), rule.code
+
+    def test_codes_are_unique_and_sorted(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+
+    def test_every_family_has_rules(self):
+        for prefix in FAMILIES:
+            assert rules_in_family(prefix), f"no rules under {prefix}"
+
+    def test_rule_count_is_stable(self):
+        # Adding a rule is fine -- bump this count alongside the
+        # docs/LINTING.md catalog so they cannot drift apart.
+        assert len(all_rules()) == 37
+
+    def test_family_property_matches_prefix(self):
+        for rule in all_rules():
+            assert rule.code.startswith(rule.family)
+            assert rule.family in FAMILIES
+
+    def test_requirements_name_known_artifacts(self):
+        for rule in all_rules():
+            assert rule.requires <= KNOWN_ARTIFACTS, rule.code
+
+    def test_descriptions_and_names_present(self):
+        for rule in all_rules():
+            assert rule.name
+            assert rule.description
+
+    def test_differential_rule_is_default_off(self):
+        (differential,) = [
+            r for r in all_rules() if not r.default_enabled
+        ]
+        assert differential.code == "SCHED490"
+
+
+class TestLintConfig:
+    def _rule(self, code):
+        return next(r for r in all_rules() if r.code == code)
+
+    def test_default_runs_default_on_rules(self):
+        assert DEFAULT_CONFIG.is_enabled(self._rule("DDG101"))
+        assert not DEFAULT_CONFIG.is_enabled(self._rule("SCHED490"))
+
+    def test_enable_opts_default_off_rules_in(self):
+        config = LintConfig(enable=frozenset({"SCHED490"}))
+        assert config.is_enabled(self._rule("SCHED490"))
+
+    def test_disable_wins_over_enable(self):
+        config = LintConfig(
+            disable=frozenset({"SCHED490"}),
+            enable=frozenset({"SCHED490"}),
+        )
+        assert not config.is_enabled(self._rule("SCHED490"))
+
+    def test_severity_override(self):
+        config = LintConfig(severity={"DDG105": "error"})
+        assert config.severity_for(self._rule("DDG105")) == "error"
+        assert config.severity_for(self._rule("DDG101")) == "error"
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig(severity={"DDG101": "fatal"})
+
+    def test_bad_differential_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig(differential_sample=0)
+
+    def test_config_is_hashable_and_picklable(self):
+        import pickle
+
+        config = LintConfig(
+            disable=frozenset({"DDG105"}), strict=True
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config

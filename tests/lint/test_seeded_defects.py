@@ -1,0 +1,96 @@
+"""Seeded-defect fixtures: one corrupted artifact per rule family.
+
+Each test plants exactly one defect, lints the artifact, and asserts
+the run reports *exactly* the expected stable code with a nonzero exit
+-- the acceptance contract for the diagnostic catalog.
+"""
+
+from repro.ddg import Ddg, Opcode, trivial_annotation
+from repro.lint import LintTarget, lint_target
+from repro.machine import Machine
+from repro.machine.interconnect import BusInterconnect
+from repro.regalloc.lifetimes import Lifetime
+from repro.regalloc.mve import MveAllocation
+from repro.scheduling import Schedule, modulo_schedule
+
+
+def _error_codes(report):
+    return sorted({d.code for d in report.errors})
+
+
+class TestSeededDefects:
+    def test_ddg_family_zero_distance_cycle(self):
+        graph = Ddg(name="combinational")
+        a = graph.add_node(Opcode.ALU, name="a")
+        b = graph.add_node(Opcode.ALU, name="b")
+        graph.add_edge(a, b, distance=0)
+        graph.add_edge(b, a, distance=0)
+        report = lint_target(LintTarget(name=graph.name, ddg=graph))
+        assert _error_codes(report) == ["DDG103"]
+        assert len(report.errors) == 1
+        assert report.exit_code != 0
+
+    def test_mach_family_zero_capacity_channel(self, two_gp):
+        class ZeroCapacityBus(BusInterconnect):
+            def channel_resources(self):
+                return {"bus": 0}
+
+        machine = Machine(
+            clusters=two_gp.clusters,
+            interconnect=ZeroCapacityBus(bus_count=1),
+            name="broken-bus",
+        )
+        report = lint_target(
+            LintTarget(name=machine.name, machine=machine)
+        )
+        assert _error_codes(report) == ["MACH206"]
+        assert len(report.errors) == 1
+        assert report.exit_code != 0
+
+    def test_assign_family_unassigned_node(self, chain3, uni8):
+        annotated = trivial_annotation(chain3, uni8)
+        missing = chain3.node_ids[1]
+        del annotated.cluster_of[missing]
+        report = lint_target(
+            LintTarget(name=chain3.name, annotated=annotated)
+        )
+        assert _error_codes(report) == ["ASSIGN301"]
+        assert len(report.errors) == 1
+        assert f"node {missing}" == report.errors[0].location
+        assert report.exit_code != 0
+
+    def test_sched_family_oversubscribed_row(self, uni8):
+        graph = Ddg(name="wide")
+        nodes = [graph.add_node(Opcode.ALU) for _ in range(9)]
+        annotated = trivial_annotation(graph, uni8)
+        # Nine ALU ops in row 0 of an 8-wide machine.
+        schedule = Schedule(
+            annotated=annotated, ii=2, start={n: 0 for n in nodes}
+        )
+        report = lint_target(
+            LintTarget(name=graph.name, schedule=schedule)
+        )
+        assert _error_codes(report) == ["SCHED402"]
+        assert len(report.errors) == 1
+        assert "row 0" in report.errors[0].message
+        assert report.exit_code != 0
+
+    def test_reg_family_negative_lifetime(self, chain3, uni8):
+        schedule = modulo_schedule(
+            trivial_annotation(chain3, uni8), ii=2
+        )
+        assert schedule is not None
+        target = LintTarget(name=chain3.name, schedule=schedule)
+        # Seed the memo caches with a corrupted lifetime set (value
+        # read before it is produced) and a matching benign allocation,
+        # exactly the hook the REG rules document for tests.
+        target.cache["lifetimes"] = [
+            Lifetime(producer=0, cluster=0, birth=5, death=3)
+        ]
+        target.cache["allocation"] = MveAllocation(
+            ii=schedule.ii, unroll=1
+        )
+        report = lint_target(target)
+        assert _error_codes(report) == ["REG504"]
+        assert len(report.errors) == 1
+        assert report.exit_code != 0

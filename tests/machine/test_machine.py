@@ -9,10 +9,6 @@ from repro.machine import (
     NoInterconnect,
     fs_units,
     gp_units,
-    two_cluster_fs,
-    two_cluster_gp,
-    four_cluster_grid,
-    unified_gp,
 )
 
 

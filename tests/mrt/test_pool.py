@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mrt import PoolOverflowError, ResourcePools
-from repro.machine import two_cluster_gp, four_cluster_grid, unified_gp
+from repro.machine import four_cluster_grid, unified_gp
 
 
 @pytest.fixture

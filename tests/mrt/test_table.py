@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mrt import ModuloReservationTable
-from repro.machine import two_cluster_gp, unified_gp
+from repro.machine import two_cluster_gp
 
 
 @pytest.fixture

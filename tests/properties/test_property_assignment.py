@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core import RoutingState, assign_clusters
 from repro.core.copies import plan_copies
-from repro.ddg import Ddg, Opcode
 from repro.machine import (
     four_cluster_gp,
     four_cluster_grid,

@@ -10,7 +10,7 @@ from repro.codegen import expand_pipeline
 from repro.core import compile_loop
 from repro.ddg import rec_mii
 from repro.ddg.parse import format_loop, parse_loop
-from repro.machine import two_cluster_gp, unified_gp
+from repro.machine import two_cluster_gp
 from repro.regalloc import allocate_mve, verify_allocation
 from repro.workloads import GeneratorProfile, generate_loop, unroll_ddg
 

@@ -1,10 +1,9 @@
 """Lifetime extraction."""
 
-import pytest
 
 from repro.core import compile_loop
 from repro.ddg import Ddg, Opcode, trivial_annotation
-from repro.machine import two_cluster_gp, unified_gp
+from repro.machine import unified_gp
 from repro.regalloc import extract_lifetimes
 from repro.scheduling import Schedule
 

@@ -1,6 +1,5 @@
 """Bidirectional placement behavior of the iterative modulo scheduler."""
 
-import pytest
 
 from repro.ddg import Ddg, Opcode, trivial_annotation
 from repro.machine import unified_fs, unified_gp

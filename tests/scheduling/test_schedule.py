@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ddg import trivial_annotation
-from repro.machine import unified_gp
 from repro.scheduling import Schedule, modulo_schedule
 
 

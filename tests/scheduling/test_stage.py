@@ -1,11 +1,10 @@
 """Stage scheduling (register-pressure post-pass)."""
 
-import pytest
 
 from repro.analysis.registers import register_pressure
 from repro.core import compile_loop
 from repro.ddg import Ddg, Opcode, trivial_annotation
-from repro.machine import two_cluster_gp, unified_gp
+from repro.machine import two_cluster_gp
 from repro.scheduling import Schedule, assert_valid, modulo_schedule
 from repro.scheduling.stage import (
     stage_schedule,

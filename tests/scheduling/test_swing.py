@@ -1,6 +1,5 @@
 """Swing Modulo Scheduling node ordering."""
 
-import pytest
 
 from repro.ddg import Ddg, Opcode, find_sccs
 from repro.scheduling import assignment_order, compute_metrics, swing_order

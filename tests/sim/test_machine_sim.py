@@ -4,12 +4,7 @@ import pytest
 
 from repro.core import compile_loop
 from repro.ddg import Ddg, Opcode
-from repro.machine import (
-    four_cluster_fs,
-    four_cluster_grid,
-    two_cluster_gp,
-    unified_gp,
-)
+from repro.machine import four_cluster_fs, four_cluster_grid, two_cluster_gp
 from repro.scheduling import Schedule
 from repro.sim import (
     assert_executes_correctly,

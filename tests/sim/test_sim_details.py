@@ -6,7 +6,7 @@ import pytest
 from repro.core import compile_loop, plan_copies, build_annotated
 from repro.ddg import Ddg, Opcode
 from repro.machine import four_cluster_gp, four_cluster_grid
-from repro.scheduling import Schedule, modulo_schedule
+from repro.scheduling import modulo_schedule
 from repro.sim import simulate_schedule
 from repro.sim.values import combine, live_in, source_value
 

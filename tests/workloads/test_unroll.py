@@ -4,7 +4,7 @@ import pytest
 
 from repro.ddg import Opcode, rec_mii, res_mii
 from repro.machine import unified_gp
-from repro.workloads import all_kernels, build_kernel, unroll_ddg
+from repro.workloads import build_kernel, unroll_ddg
 
 
 class TestStructure:
