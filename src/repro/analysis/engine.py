@@ -57,7 +57,7 @@ from .experiment import (
 )
 
 #: Bumped whenever the cached-outcome schema changes.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,11 @@ class EngineOptions:
     #: loop.  (The config is frozen and picklable, so it rides into
     #: worker processes unchanged.)
     lint_config: Optional[object] = None
+    #: Optional :class:`repro.certify.CertifyConfig` gate: emit and
+    #: independently verify the certificate of every compiled loop,
+    #: recording failure counts/codes (and the exact oracle's verdict)
+    #: on the outcome.  Frozen and picklable, same as ``lint_config``.
+    certify_config: Optional[object] = None
 
 
 # ----------------------------------------------------------------------
@@ -129,9 +134,23 @@ def lint_fingerprint(lint_config) -> Optional[str]:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def certify_fingerprint(certify_config) -> Optional[str]:
+    """Hex digest of a certify gate's configuration (None when off)."""
+    if certify_config is None:
+        return None
+    doc = {
+        "strict": certify_config.strict,
+        "exact": certify_config.exact,
+        "node_budget": certify_config.exact_node_budget,
+        "backtrack_budget": certify_config.exact_backtrack_budget,
+    }
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def outcome_cache_key(
     ddg: Ddg, machine: Machine, config: AssignmentConfig,
-    verify: bool = False, lint_config=None,
+    verify: bool = False, lint_config=None, certify_config=None,
 ) -> str:
     """Cache key of one (loop, machine, config) measurement."""
     doc = {
@@ -142,6 +161,7 @@ def outcome_cache_key(
         "config": config_fingerprint(config),
         "verify": verify,
         "lint": lint_fingerprint(lint_config),
+        "certify": certify_fingerprint(certify_config),
     }
     payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -181,6 +201,9 @@ class ResultCache:
             lint_errors=int(doc.get("lint_errors", 0)),
             lint_warnings=int(doc.get("lint_warnings", 0)),
             lint_codes=tuple(doc.get("lint_codes", ())),
+            cert_errors=int(doc.get("cert_errors", 0)),
+            cert_codes=tuple(doc.get("cert_codes", ())),
+            exact_status=doc.get("exact_status", ""),
         )
 
     def store(self, key: str, outcome: LoopOutcome) -> None:
@@ -198,6 +221,9 @@ class ResultCache:
             "lint_errors": outcome.lint_errors,
             "lint_warnings": outcome.lint_warnings,
             "lint_codes": list(outcome.lint_codes),
+            "cert_errors": outcome.cert_errors,
+            "cert_codes": list(outcome.cert_codes),
+            "exact_status": outcome.exact_status,
         }
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
@@ -265,6 +291,7 @@ def _measure_loop(
     timeout_seconds: float,
     unified_ii_hint: Optional[int],
     lint_config=None,
+    certify_config=None,
 ) -> Tuple[LoopOutcome, float]:
     """One loop's outcome plus the seconds spent on its unified baseline.
 
@@ -290,6 +317,7 @@ def _measure_loop(
                 clustered = compile_loop(
                     ddg, machine, config, verify=verify,
                     lint_config=lint_config,
+                    certify_config=certify_config,
                 )
         except CompilationError as exc:
             obs.count("experiment.failures")
@@ -325,6 +353,7 @@ def _measure_loop(
             )
             obs.count("experiment.loops")
             report = clustered.lint_report
+            certified = clustered.certified
             outcome = LoopOutcome(
                 loop_name=ddg.name,
                 unified_ii=unified_ii,
@@ -333,6 +362,11 @@ def _measure_loop(
                 lint_errors=len(report.errors) if report else 0,
                 lint_warnings=len(report.warnings) if report else 0,
                 lint_codes=tuple(report.codes()) if report else (),
+                cert_errors=len(certified.issues) if certified else 0,
+                cert_codes=certified.codes() if certified else (),
+                exact_status=(
+                    certified.exact_status if certified else ""
+                ),
             )
     return outcome, baseline_seconds
 
@@ -349,7 +383,8 @@ def _run_chunk(payload: Tuple) -> Tuple:
     was not tracing).
     """
     (items, machine, config, verify,
-     timeout_seconds, known_ii, want_trace, lint_config) = payload
+     timeout_seconds, known_ii, want_trace, lint_config,
+     certify_config) = payload
     trace = obs.Trace() if want_trace else None
     if trace is not None:
         obs.install(trace)
@@ -360,7 +395,7 @@ def _run_chunk(payload: Tuple) -> Tuple:
             outcome, baseline_seconds = _measure_loop(
                 ddg, machine, unified, config, verify,
                 timeout_seconds, known_ii.get(ddg.name),
-                lint_config,
+                lint_config, certify_config,
             )
             records.append((index, outcome, baseline_seconds))
         events = obs.trace_events(trace) if trace is not None else None
@@ -431,7 +466,7 @@ def run_engine_experiment(
                 if cache is not None:
                     keys[index] = outcome_cache_key(
                         ddg, machine, config, verify,
-                        options.lint_config,
+                        options.lint_config, options.certify_config,
                     )
                 hit = (cache.load(keys[index])
                        if cache is not None and options.resume else None)
@@ -487,6 +522,7 @@ def _run_inline(
         outcome, baseline_seconds = _measure_loop(
             ddg, machine, unified, config, verify,
             options.timeout_seconds, hint, options.lint_config,
+            options.certify_config,
         )
         result.baseline_seconds += baseline_seconds
         if outcome.unified_ii > 0:
@@ -510,7 +546,7 @@ def _run_parallel(
     payloads = [
         (chunk, machine, config, verify,
          options.timeout_seconds, known_ii, want_trace,
-         options.lint_config)
+         options.lint_config, options.certify_config)
         for chunk in chunks
     ]
     by_name = {ddg.name: ddg for _, ddg in pending}

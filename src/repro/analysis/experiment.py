@@ -72,6 +72,13 @@ class LoopOutcome:
     lint_errors: int = 0
     lint_warnings: int = 0
     lint_codes: Tuple[str, ...] = ()
+    #: Certify gate results for this loop (all zero / empty when the
+    #: experiment ran without ``certify_config``).
+    cert_errors: int = 0
+    cert_codes: Tuple[str, ...] = ()
+    #: Exact-oracle verdict (``tight``/``loose``/...) when the gate ran
+    #: with ``exact=True``; empty otherwise.
+    exact_status: str = ""
 
     @property
     def ok(self) -> bool:
@@ -162,6 +169,29 @@ class ExperimentResult:
                 counts[code] = counts.get(code, 0) + 1
         return dict(sorted(counts.items()))
 
+    @property
+    def total_cert_errors(self) -> int:
+        """Certificate failures across all outcomes (0 without a gate)."""
+        return sum(outcome.cert_errors for outcome in self.outcomes)
+
+    def cert_code_counts(self) -> Dict[str, int]:
+        """Loops-affected count per certificate code, over all outcomes."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for code in outcome.cert_codes:
+                counts[code] = counts.get(code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def exact_status_counts(self) -> Dict[str, int]:
+        """Loops per exact-oracle verdict (empty without ``exact``)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.exact_status:
+                counts[outcome.exact_status] = (
+                    counts.get(outcome.exact_status, 0) + 1
+                )
+        return dict(sorted(counts.items()))
+
 
 class UnifiedBaseline:
     """Cache of unified-machine IIs keyed by (machine name, loop name).
@@ -231,6 +261,7 @@ def run_experiment(
     verify: bool = False,
     strict: bool = False,
     lint_config=None,
+    certify_config=None,
 ) -> ExperimentResult:
     """Measure one clustered configuration against its unified baseline.
 
@@ -247,6 +278,12 @@ def run_experiment(
     ``lint_config.strict`` a loop whose lint report contains errors
     becomes a ``failed`` outcome (or aborts under ``strict=True``, like
     any other compilation failure).
+
+    ``certify_config`` (a :class:`repro.certify.CertifyConfig`) emits
+    and independently verifies a compilation certificate for every
+    compiled loop, recording the failure count / codes (and the exact
+    oracle's verdict, when enabled) on the :class:`LoopOutcome`; with
+    ``certify_config.strict`` a certificate failure fails the loop.
     """
     if baseline is None:
         baseline = UnifiedBaseline()
@@ -271,6 +308,7 @@ def run_experiment(
                         clustered = compile_loop(
                             ddg, machine, config, verify=verify,
                             lint_config=lint_config,
+                            certify_config=certify_config,
                         )
                     except CompilationError as exc:
                         obs.count("experiment.failures")
@@ -310,6 +348,7 @@ def run_experiment(
                         )
                         obs.count("experiment.loops")
                         report = clustered.lint_report
+                        certified = clustered.certified
                         outcome = LoopOutcome(
                             loop_name=ddg.name,
                             unified_ii=unified_ii,
@@ -323,6 +362,17 @@ def run_experiment(
                             ),
                             lint_codes=(
                                 tuple(report.codes()) if report else ()
+                            ),
+                            cert_errors=(
+                                len(certified.issues)
+                                if certified else 0
+                            ),
+                            cert_codes=(
+                                certified.codes() if certified else ()
+                            ),
+                            exact_status=(
+                                certified.exact_status
+                                if certified else ""
                             ),
                         )
                 result.outcomes.append(outcome)
@@ -347,6 +397,7 @@ def run_sweep(
     verify: bool = False,
     strict: bool = False,
     lint_config=None,
+    certify_config=None,
 ) -> List[ExperimentResult]:
     """Run one experiment per machine (the bus/port sweep pattern)."""
     if baseline is None:
@@ -362,6 +413,7 @@ def run_sweep(
                 loops, machine, config,
                 label=label, baseline=baseline, verify=verify,
                 strict=strict, lint_config=lint_config,
+                certify_config=certify_config,
             )
         )
     return results
@@ -375,6 +427,7 @@ def run_variant_comparison(
     verify: bool = False,
     strict: bool = False,
     lint_config=None,
+    certify_config=None,
 ) -> List[ExperimentResult]:
     """Run one experiment per algorithm variant (Figures 12–13 pattern)."""
     if baseline is None:
@@ -384,6 +437,7 @@ def run_variant_comparison(
             loops, machine, config,
             label=config.name, baseline=baseline, verify=verify,
             strict=strict, lint_config=lint_config,
+            certify_config=certify_config,
         )
         for config in configs
     ]

@@ -1,0 +1,99 @@
+"""Certificate-carrying compilation.
+
+Every compile can emit a machine-checkable :class:`Certificate`
+(:mod:`repro.certify.witness`) that an independent verifier
+(:mod:`repro.certify.check`) validates against nothing but the input
+DDG and the machine description, and whose achieved II a bounded exact
+oracle (:mod:`repro.certify.exact`) can prove tight or loose.
+
+The checker-side modules (``witness``, ``check``, ``exact``) import
+nothing from the pipeline — a test inspects their module graph to keep
+it that way.  The pipeline-side modules (``emit``, ``gate``) are loaded
+lazily here so importing the checker never drags the pipeline in.
+"""
+
+from .check import COPY_LATENCY, CertIssue, check_certificate
+from .exact import (
+    DEFAULT_BUDGET,
+    STATUS_BUDGET,
+    STATUS_LOOSE,
+    STATUS_SKIPPED,
+    STATUS_TIGHT,
+    ExactBudget,
+    ExactResult,
+    probe_tightness,
+)
+from .witness import (
+    AssignmentWitness,
+    Certificate,
+    CopyWitness,
+    GraphWitness,
+    RecMiiWitness,
+    RegallocWitness,
+    ResMiiWitness,
+    RouteWitness,
+    ScheduleWitness,
+    SlotWitness,
+    from_dict,
+    resource_key_str,
+)
+
+_PIPELINE_EXPORTS = {
+    "emit_certificate": ("emit", "emit_certificate"),
+    "certificate_for": ("emit", "certificate_for"),
+    "CertifyConfig": ("gate", "CertifyConfig"),
+    "DEFAULT_CERTIFY": ("gate", "DEFAULT_CERTIFY"),
+    "CertifiedArtifact": ("gate", "CertifiedArtifact"),
+    "certify_compiled": ("gate", "certify_compiled"),
+    "artifact_diagnostics": ("gate", "artifact_diagnostics"),
+    "CODE_LOOSE_II": ("gate", "CODE_LOOSE_II"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the pipeline-side (emitter/gate) exports."""
+    try:
+        module_name, attribute = _PIPELINE_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, attribute)
+
+
+__all__ = [
+    "AssignmentWitness",
+    "COPY_LATENCY",
+    "CODE_LOOSE_II",
+    "CertIssue",
+    "Certificate",
+    "CertifiedArtifact",
+    "CertifyConfig",
+    "CopyWitness",
+    "DEFAULT_BUDGET",
+    "DEFAULT_CERTIFY",
+    "ExactBudget",
+    "ExactResult",
+    "GraphWitness",
+    "RecMiiWitness",
+    "RegallocWitness",
+    "ResMiiWitness",
+    "RouteWitness",
+    "STATUS_BUDGET",
+    "STATUS_LOOSE",
+    "STATUS_SKIPPED",
+    "STATUS_TIGHT",
+    "ScheduleWitness",
+    "SlotWitness",
+    "artifact_diagnostics",
+    "certificate_for",
+    "certify_compiled",
+    "check_certificate",
+    "emit_certificate",
+    "from_dict",
+    "probe_tightness",
+    "resource_key_str",
+]

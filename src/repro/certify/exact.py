@@ -1,0 +1,252 @@
+"""Exact bounded II-tightness oracle.
+
+Given a verified certificate, :func:`probe_tightness` decides whether
+the achieved II was *tight* for this annotated graph: it searches
+exhaustively for a valid modulo schedule at ``II - 1`` under the same
+cluster assignment and copy placement.  Either a schedule is exhibited
+(the II was loose — the heuristic scheduler left a cycle on the table;
+reported as CERT690) or the search proves infeasibility.
+
+The search is a CP-style decomposition over ``t(n) = sigma(n) * II +
+rho(n)``: resource conflicts depend only on the kernel row ``rho(n) =
+t(n) mod II``, so the oracle enumerates row assignments depth-first with
+incremental per-(resource, row) usage pruning, and at each complete row
+assignment decides the remaining *stage* placement ``sigma`` exactly as
+a system of difference constraints (``sigma(v) - sigma(u) >=
+ceil((latency(u) - II*d + rho(u) - rho(v)) / II)``) via Bellman–Ford
+longest paths — polynomial, so the exponential part is rows only.
+
+Budgets keep the oracle honest about scale: loops above
+``node_budget`` nodes are skipped outright, and the DFS charges one
+unit per row binding against ``backtrack_budget``; exceeding it yields
+``budget_exhausted``, never a wrong verdict.
+
+Like :mod:`repro.certify.check`, this module is independent of the
+pipeline — it imports only its sibling checker helpers and the witness
+schema, and is enforced by the same module-graph test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .check import (
+    _copy_ids,
+    _copy_resources,
+    _node_latency,
+    _opcode_member,
+    _positive_cycle,
+    _sched_resource_demand,
+)
+from .witness import Certificate, resource_key_str
+
+#: Verdicts of :func:`probe_tightness`.
+STATUS_TIGHT = "tight"
+STATUS_LOOSE = "loose"
+STATUS_BUDGET = "budget_exhausted"
+STATUS_SKIPPED = "skipped"
+
+#: Reasons accompanying a ``tight`` verdict.
+REASON_MINIMAL = "ii_is_minimal"
+REASON_RECURRENCE = "recurrence_bound"
+REASON_RESOURCE = "resource_bound"
+REASON_EXHAUSTED = "search_exhausted"
+
+
+@dataclass(frozen=True)
+class ExactBudget:
+    """Limits bounding the exact search.
+
+    ``node_budget`` caps the annotated-graph size the oracle will touch
+    at all (the row DFS is exponential in it); ``backtrack_budget`` caps
+    row bindings tried before giving up with ``budget_exhausted``.
+    """
+
+    node_budget: int = 12
+    backtrack_budget: int = 20000
+
+
+DEFAULT_BUDGET = ExactBudget()
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Outcome of one tightness probe at ``probed_ii = II - 1``."""
+
+    status: str
+    reason: str
+    probed_ii: int
+    backtracks: int = 0
+    schedule: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    @property
+    def proved(self) -> bool:
+        """True when the probe reached a definite verdict."""
+        return self.status in (STATUS_TIGHT, STATUS_LOOSE)
+
+
+def probe_tightness(
+    cert: Certificate,
+    ddg,
+    machine,
+    budget: ExactBudget = DEFAULT_BUDGET,
+) -> ExactResult:
+    """Decide whether ``cert.ii`` was tight for its annotated graph.
+
+    The verdict is relative to the *fixed* cluster assignment and copy
+    placement the certificate records: the driver re-runs assignment per
+    candidate II, so a ``loose`` verdict means the scheduler missed a
+    feasible schedule at ``II - 1`` on this graph, not that the whole
+    pipeline's II is necessarily improvable.
+    """
+    target = cert.ii - 1
+    if target < 1:
+        return ExactResult(STATUS_TIGHT, REASON_MINIMAL, target)
+    node_ids = [node_id for node_id, _, _ in cert.graph.nodes]
+    if len(node_ids) > budget.node_budget:
+        return ExactResult(
+            STATUS_SKIPPED,
+            f"loop has {len(node_ids)} nodes, budget is "
+            f"{budget.node_budget}",
+            target,
+        )
+
+    latency_of = _node_latency(cert)
+    edges = [
+        (src, dst, latency_of[src], distance)
+        for src, dst, distance in cert.graph.edges
+    ]
+    # Recurrence pre-check: one positive-cycle probe kills most targets
+    # without touching the DFS (the dominant case — recurrences bound
+    # almost every tight loop).
+    if _positive_cycle(node_ids, edges, target):
+        return ExactResult(STATUS_TIGHT, REASON_RECURRENCE, target)
+
+    # Resource pre-check: pure counting, independent of placement.
+    for uses, capacity in _sched_resource_demand(cert, ddg, machine).values():
+        if capacity > 0 and -(-uses // capacity) > target:
+            return ExactResult(STATUS_TIGHT, REASON_RESOURCE, target)
+
+    resources = _node_resources(cert, ddg, machine)
+    capacities = {
+        resource_key_str(key): cap
+        for key, cap in machine.resource_capacities().items()
+    }
+
+    # Most-constrained-first ordering shrinks the DFS: nodes holding more
+    # resource pools collide earlier, so bind them first.
+    order = sorted(
+        node_ids, key=lambda n: (-len(resources[n]), n)
+    )
+    usage: Dict[Tuple[str, int], int] = {}
+    rho: Dict[int, int] = {}
+    backtracks = 0
+    found: List[Tuple[Tuple[int, int], ...]] = []
+
+    def place(depth: int) -> Optional[str]:
+        """DFS over row assignments; returns a terminal status or None."""
+        nonlocal backtracks
+        if depth == len(order):
+            starts = _solve_stages(node_ids, edges, rho, target)
+            if starts is None:
+                return None
+            found.append(tuple(sorted(starts.items())))
+            return STATUS_LOOSE
+        node = order[depth]
+        for row in range(target):
+            backtracks += 1
+            if backtracks > budget.backtrack_budget:
+                return STATUS_BUDGET
+            blocked = False
+            for key in resources[node]:
+                slot = (key, row)
+                if usage.get(slot, 0) + 1 > capacities.get(key, 0):
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            for key in resources[node]:
+                slot = (key, row)
+                usage[slot] = usage.get(slot, 0) + 1
+            rho[node] = row
+            outcome = place(depth + 1)
+            del rho[node]
+            for key in resources[node]:
+                usage[(key, row)] -= 1
+            if outcome is not None:
+                return outcome
+        return None
+
+    outcome = place(0)
+
+    if outcome == STATUS_LOOSE:
+        return ExactResult(
+            STATUS_LOOSE,
+            f"valid schedule exists at II={target}",
+            target,
+            backtracks,
+            found[-1],
+        )
+    if outcome == STATUS_BUDGET:
+        return ExactResult(
+            STATUS_BUDGET,
+            f"row search exceeded {budget.backtrack_budget} bindings",
+            target,
+            backtracks,
+        )
+    return ExactResult(STATUS_TIGHT, REASON_EXHAUSTED, target, backtracks)
+
+
+def _node_resources(cert: Certificate, ddg, machine) -> Dict[int, List[str]]:
+    """Resource-pool strings each annotated node occupies per issue."""
+    copies = _copy_ids(cert)
+    cluster_of = cert.assignment.cluster_map()
+    resources: Dict[int, List[str]] = {}
+    for node_id, opcode, _ in cert.graph.nodes:
+        if node_id in copies:
+            resources[node_id] = _copy_resources(cert, machine, copies[node_id])
+        else:
+            resources[node_id] = [
+                resource_key_str(key)
+                for key in machine.op_resources(
+                    _opcode_member(ddg, opcode), cluster_of[node_id]
+                )
+            ]
+    return resources
+
+
+def _solve_stages(
+    nodes: List[int],
+    edges: List[Tuple[int, int, int, int]],
+    rho: Dict[int, int],
+    ii: int,
+) -> Optional[Dict[int, int]]:
+    """Stage placement for a fixed row assignment, or None if infeasible.
+
+    With rows fixed, each dependence ``u -> v`` becomes the difference
+    constraint ``sigma(v) - sigma(u) >= ceil((latency(u) - ii*distance +
+    rho(u) - rho(v)) / ii)``; the system is feasible iff longest-path
+    relaxation converges, and the converged distances are themselves a
+    valid (non-negative) ``sigma``.  Returns the full start map
+    ``t = sigma * ii + rho``.
+    """
+    constraints = [
+        (
+            src,
+            dst,
+            -(-(latency - ii * distance + rho[src] - rho[dst]) // ii),
+        )
+        for src, dst, latency, distance in edges
+    ]
+    sigma = {node: 0 for node in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for src, dst, bound in constraints:
+            candidate = sigma[src] + bound
+            if candidate > sigma[dst]:
+                sigma[dst] = candidate
+                changed = True
+        if not changed:
+            return {node: sigma[node] * ii + rho[node] for node in nodes}
+    return None

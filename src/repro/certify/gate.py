@@ -1,0 +1,185 @@
+"""The ``--certify`` gate: emit, verify, and optionally probe tightness.
+
+:func:`certify_compiled` is the one-call form the driver, the
+experiment runners, and the CLI all share: emit the certificate for a
+:class:`~repro.core.driver.CompiledLoop`, hand it to the independent
+checker, and (when the config asks) run the exact tightness oracle.
+The result is a :class:`CertifiedArtifact` — certificate, verifier
+issues, and the optional exact verdict — which
+:func:`artifact_diagnostics` bridges into the lint diagnostic stream so
+certificate failures render through the same text/JSON/SARIF renderers
+as every other finding.
+
+:class:`CertifyConfig` is frozen and picklable, so it crosses the
+parallel engine's process boundary exactly like
+:class:`~repro.lint.registry.LintConfig` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .. import obs
+from ..lint.diagnostics import SEVERITY_ERROR, SEVERITY_WARNING, Diagnostic
+from .check import CertIssue, check_certificate
+from .emit import emit_certificate
+from .exact import (
+    STATUS_BUDGET,
+    STATUS_LOOSE,
+    ExactBudget,
+    ExactResult,
+    probe_tightness,
+)
+from .witness import Certificate
+
+#: Diagnostic code of a loose-II finding (exact oracle beat the
+#: heuristic scheduler).  Warning severity: a loose II is a missed
+#: optimization, not a wrong compile.
+CODE_LOOSE_II = "CERT690"
+
+#: Artifact family each checker section reports against (mirrors the
+#: lint families so mixed reports group naturally).
+SECTION_ARTIFACTS = {
+    "CERT600": "annotated",
+    "CERT601": "ddg",
+    "CERT602": "machine",
+    "CERT603": "annotated",
+    "CERT604": "schedule",
+    "CERT605": "schedule",
+    "CERT606": "regalloc",
+    CODE_LOOSE_II: "schedule",
+}
+
+#: Human-readable rule slugs per checker section.
+SECTION_RULES = {
+    "CERT600": "cert-graph-fidelity",
+    "CERT601": "cert-recurrence-witness",
+    "CERT602": "cert-resource-witness",
+    "CERT603": "cert-copy-routing",
+    "CERT604": "cert-timing",
+    "CERT605": "cert-occupancy",
+    "CERT606": "cert-lifetimes",
+    CODE_LOOSE_II: "cert-loose-ii",
+}
+
+
+@dataclass(frozen=True)
+class CertifyConfig:
+    """Knobs of the certify gate (frozen, picklable).
+
+    ``strict`` makes a certificate failure abort the compile (mirroring
+    the strict lint gate); ``exact`` additionally runs the bounded
+    tightness oracle, budgeted by the two ``exact_*`` limits.
+    """
+
+    strict: bool = False
+    exact: bool = False
+    exact_node_budget: int = 12
+    exact_backtrack_budget: int = 20000
+
+    def budget(self) -> ExactBudget:
+        """The oracle budget this config describes."""
+        return ExactBudget(
+            node_budget=self.exact_node_budget,
+            backtrack_budget=self.exact_backtrack_budget,
+        )
+
+
+DEFAULT_CERTIFY = CertifyConfig()
+
+
+@dataclass(frozen=True)
+class CertifiedArtifact:
+    """One compile's certificate plus its verification outcome."""
+
+    certificate: Certificate
+    issues: Tuple[CertIssue, ...]
+    exact: Optional[ExactResult] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the independent checker found no issue."""
+        return not self.issues
+
+    @property
+    def exact_status(self) -> str:
+        """The oracle's verdict, or '' when the oracle did not run."""
+        return self.exact.status if self.exact is not None else ""
+
+    def codes(self) -> Tuple[str, ...]:
+        """Distinct diagnostic codes this artifact carries, sorted."""
+        codes = {issue.code for issue in self.issues}
+        if self.exact is not None and self.exact.status == STATUS_LOOSE:
+            codes.add(CODE_LOOSE_II)
+        return tuple(sorted(codes))
+
+
+def certify_compiled(
+    compiled, config: CertifyConfig = DEFAULT_CERTIFY
+) -> CertifiedArtifact:
+    """Emit and verify the certificate of one compiled loop."""
+    with obs.span("certify", loop=compiled.ddg.name):
+        certificate = emit_certificate(compiled)
+        issues = tuple(
+            check_certificate(certificate, compiled.ddg, compiled.machine)
+        )
+        obs.count("certify.checked")
+        if issues:
+            obs.count("certify.failures", len(issues))
+        exact = None
+        if config.exact:
+            exact = probe_tightness(
+                certificate, compiled.ddg, compiled.machine,
+                config.budget(),
+            )
+            if exact.proved:
+                obs.count("certify.exact_proved")
+            elif exact.status == STATUS_BUDGET:
+                obs.count("certify.exact_budget_exhausted")
+            if exact.status == STATUS_LOOSE:
+                obs.count("certify.loose_ii")
+    return CertifiedArtifact(certificate, issues, exact)
+
+
+def artifact_diagnostics(artifact: CertifiedArtifact) -> List[Diagnostic]:
+    """Bridge one certified artifact into lint-style diagnostics.
+
+    Checker issues become error-severity CERT600–606 diagnostics; a
+    ``loose`` exact verdict becomes a warning-severity CERT690 citing
+    the II the oracle scheduled at.
+    """
+    loop = artifact.certificate.loop
+    diagnostics = [
+        Diagnostic(
+            code=issue.code,
+            severity=SEVERITY_ERROR,
+            message=issue.message,
+            rule=SECTION_RULES.get(issue.code, "certificate"),
+            loop=loop,
+            artifact=SECTION_ARTIFACTS.get(issue.code, "certificate"),
+            location=issue.location,
+        )
+        for issue in artifact.issues
+    ]
+    exact = artifact.exact
+    if exact is not None and exact.status == STATUS_LOOSE:
+        diagnostics.append(
+            Diagnostic(
+                code=CODE_LOOSE_II,
+                severity=SEVERITY_WARNING,
+                message=(
+                    f"achieved II={artifact.certificate.ii} is loose: "
+                    f"the exact oracle found a valid schedule at "
+                    f"II={exact.probed_ii}"
+                ),
+                rule=SECTION_RULES[CODE_LOOSE_II],
+                loop=loop,
+                artifact=SECTION_ARTIFACTS[CODE_LOOSE_II],
+                hint=(
+                    "the heuristic scheduler missed a feasible schedule "
+                    "under this cluster assignment"
+                ),
+            )
+        )
+    return diagnostics

@@ -15,10 +15,18 @@ Subcommands:
 * ``lint`` — run the static-analysis rules (see ``docs/LINTING.md``)
   over loop files, the bundled corpus, or a machine description, and
   render the diagnostics as text, JSON, or SARIF 2.1.0; exits nonzero
-  when any error-severity diagnostic fires.
+  only when error-severity diagnostics remain after config overrides
+  (``--exit-zero`` forces a zero exit for report-only runs).
+* ``certify`` — compile loops and emit + independently verify their
+  compilation certificates (see ``docs/CERTIFICATES.md``); ``--exact``
+  additionally runs the bounded II-tightness oracle.  Renders through
+  the same text/JSON/SARIF renderers as ``lint``.
 
-``compile`` and ``experiment`` also accept ``--lint[=strict]`` to run
-the analyzer as a gate on every compiled artifact.
+``compile`` and ``experiment`` also accept ``--lint[=strict]`` and
+``--certify[=strict]`` to run the analyzer / certificate verifier as
+gates on every compiled artifact.  ``lint`` and ``certify`` accept
+``--workers N`` to fan loops out over worker processes; the merged
+report is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import argparse
 import dataclasses
 import json
 import sys
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Optional
 
 from . import obs
@@ -121,6 +130,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     lint_config = (
         _lint_config_from_args(args) if args.lint is not None else None
     )
+    certify_config = (
+        _certify_config_from_args(args)
+        if args.certify is not None else None
+    )
     trace = _trace_requested(args)
     if trace is not None:
         obs.install(trace)
@@ -128,6 +141,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         result = compile_loop(
             loop, machine, config=config, verify=True,
             lint_config=lint_config,
+            certify_config=certify_config,
         )
         unified = compile_loop(loop, machine.unified_equivalent())
     except CompilationError as exc:
@@ -190,6 +204,22 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         if not report.ok:
             _emit_trace(trace, args)
             return 1
+    if result.certified is not None:
+        from .certify.gate import artifact_diagnostics
+
+        certified = result.certified
+        print()
+        verdict = "verified" if certified.ok else (
+            f"{len(certified.issues)} issue(s)"
+        )
+        print(f"certificate: {verdict}"
+              + (f", exact oracle: {certified.exact_status}"
+                 if certified.exact_status else ""))
+        for diagnostic in artifact_diagnostics(certified):
+            print(f"  {diagnostic}")
+        if not certified.ok:
+            _emit_trace(trace, args)
+            return 1
     _emit_trace(trace, args)
     return 0
 
@@ -243,9 +273,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     lint_config = (
         _lint_config_from_args(args) if args.lint is not None else None
     )
+    certify_config = (
+        _certify_config_from_args(args)
+        if args.certify is not None else None
+    )
     options = _engine_options(args)
     if options is not None and lint_config is not None:
         options = dataclasses.replace(options, lint_config=lint_config)
+    if options is not None and certify_config is not None:
+        options = dataclasses.replace(
+            options, certify_config=certify_config
+        )
     trace = _trace_requested(args)
     if args.json and trace is None:
         # --json reports obs counters, so it always traces.
@@ -261,6 +299,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             result = run_experiment(
                 loops, machine, config=config, strict=args.strict,
                 lint_config=lint_config,
+                certify_config=certify_config,
             )
     except ExperimentError as exc:
         print(f"experiment aborted: {exc}", file=sys.stderr)
@@ -276,6 +315,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     lint_failed = (
         lint_config is not None and result.total_lint_errors > 0
     )
+    cert_failed = (
+        certify_config is not None and result.total_cert_errors > 0
+    )
+    failed = lint_failed or cert_failed
     if args.json:
         doc = _experiment_json(result, trace)
         if lint_config is not None:
@@ -284,11 +327,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 "warnings": result.total_lint_warnings,
                 "codes": result.lint_code_counts(),
             }
+        if certify_config is not None:
+            doc["certify"] = {
+                "errors": result.total_cert_errors,
+                "codes": result.cert_code_counts(),
+                "exact": result.exact_status_counts(),
+            }
         print(json.dumps(doc, indent=2))
         out = getattr(args, "trace_out", None)
         if out:
             obs.write_jsonl(trace, out)
-        return 1 if lint_failed else 0
+        return 1 if failed else 0
     print(deviation_table([result]))
     print()
     print(experiment_summary(result))
@@ -300,8 +349,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             + (f" — codes {result.lint_code_counts()}"
                if result.lint_code_counts() else "")
         )
+    if certify_config is not None:
+        print(
+            f"certify gate: {result.total_cert_errors} certificate "
+            f"failure(s) across {result.n_loops} loops"
+            + (f" — codes {result.cert_code_counts()}"
+               if result.cert_code_counts() else "")
+            + (f" — exact {result.exact_status_counts()}"
+               if result.exact_status_counts() else "")
+        )
     _emit_trace(trace, args)
-    return 1 if lint_failed else 0
+    return 1 if failed else 0
 
 
 def _experiment_json(result, trace: Optional[obs.Trace]) -> Dict:
@@ -354,11 +412,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def _lint_config_from_args(args: argparse.Namespace):
-    """Build a :class:`repro.lint.LintConfig` from parsed lint flags."""
-    from .lint import LintConfig
-
-    severity = {}
+def _severity_overrides(args: argparse.Namespace) -> Dict[str, str]:
+    """Parse repeated ``--severity CODE=LEVEL`` flags into a map."""
+    severity: Dict[str, str] = {}
     for item in getattr(args, "severity", None) or []:
         code, _, level = item.partition("=")
         if not level:
@@ -366,6 +422,29 @@ def _lint_config_from_args(args: argparse.Namespace):
                 f"--severity wants CODE=LEVEL, got {item!r}"
             )
         severity[code] = level
+    return severity
+
+
+def _certify_config_from_args(args: argparse.Namespace):
+    """Build a :class:`repro.certify.CertifyConfig` from parsed flags."""
+    from .certify.gate import CertifyConfig
+
+    exact = getattr(args, "exact", False)
+    if getattr(args, "fast", False):
+        exact = False
+    return CertifyConfig(
+        strict=getattr(args, "certify", None) == "strict",
+        exact=exact,
+        exact_node_budget=getattr(args, "exact_budget", 12),
+        exact_backtrack_budget=getattr(args, "exact_backtracks", 20000),
+    )
+
+
+def _lint_config_from_args(args: argparse.Namespace):
+    """Build a :class:`repro.lint.LintConfig` from parsed lint flags."""
+    from .lint import LintConfig
+
+    severity = _severity_overrides(args)
     enable = set(getattr(args, "enable", None) or [])
     if getattr(args, "differential", False):
         enable.add("SCHED490")
@@ -413,6 +492,14 @@ def _lint_loops(args: argparse.Namespace):
     return list(unique.values())
 
 
+def _lint_loop_worker(payload):
+    """Process-pool task: deep-lint one loop (see ``--workers``)."""
+    ddg, machine, config, variant = payload
+    from .lint import lint_loop_deep
+
+    return lint_loop_deep(ddg, machine, config, variant)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import (
         LintTarget,
@@ -433,6 +520,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             (LintTarget(name=ddg.name, ddg=ddg) for ddg in loops),
             config,
         ))
+    elif args.workers >= 2 and len(loops) > 1:
+        # Parallel deep pass: the machine in the parent, one task per
+        # loop; per-loop reports merge back in suite order, so the
+        # rendered output is byte-identical to a serial run.
+        report = lint_machine(machine, config)
+        payloads = [
+            (ddg, machine, config, variant) for ddg in loops
+        ]
+        with ProcessPoolExecutor(max_workers=args.workers) as pool:
+            for loop_report in pool.map(_lint_loop_worker, payloads):
+                report.extend(loop_report)
     else:
         report = lint_corpus_deep(loops, machine, config, variant)
     rendered = render(report, args.format)
@@ -442,7 +540,94 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"wrote {args.output} ({report.summary()})")
     else:
         print(rendered)
-    return report.exit_code
+    return 0 if args.exit_zero else report.exit_code
+
+
+def _certify_one(ddg, machine, variant, certify_config, severity):
+    """Compile + certify one loop into a lint-style report.
+
+    A loop that fails to compile surfaces as a ``LINT002`` diagnostic
+    (severity-overridable, like deep lint); checker issues and the
+    exact oracle's verdict flow through
+    :func:`repro.certify.gate.artifact_diagnostics` with any
+    ``--severity CODE=LEVEL`` overrides applied afterwards, so exit
+    codes track effective severities only.
+    """
+    from .certify.gate import artifact_diagnostics, certify_compiled
+    from .lint.diagnostics import (
+        CODE_COMPILE_FAILURE,
+        SEVERITY_ERROR,
+        compile_failure,
+    )
+    from .lint.engine import LintReport
+
+    report = LintReport(n_targets=1)
+    try:
+        compiled = compile_loop(ddg, machine, config=variant)
+    except (CompilationError, ValueError) as exc:
+        report.diagnostics.append(
+            compile_failure(
+                ddg.name or "loop", exc,
+                severity=severity.get(
+                    CODE_COMPILE_FAILURE, SEVERITY_ERROR
+                ),
+            )
+        )
+        return report
+    artifact = certify_compiled(compiled, certify_config)
+    report.rules_run = 7 + (1 if certify_config.exact else 0)
+    for diagnostic in artifact_diagnostics(artifact):
+        override = severity.get(diagnostic.code)
+        if override is not None and override != diagnostic.severity:
+            diagnostic = dataclasses.replace(
+                diagnostic, severity=override
+            )
+        report.diagnostics.append(diagnostic)
+    return report
+
+
+def _certify_loop_worker(payload):
+    """Process-pool task: certify one loop (see ``--workers``)."""
+    return _certify_one(*payload)
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .lint import render
+    from .lint.engine import LintReport
+
+    machine = _machine(args.machine)
+    variant = VARIANTS[args.variant]
+    loops = _lint_loops(args)
+    severity = _severity_overrides(args)
+    certify_config = _certify_config_from_args(args)
+    report = LintReport()
+    if args.workers >= 2 and len(loops) > 1:
+        # One task per loop; merge in suite order so the rendered
+        # report is byte-identical to a serial run.
+        payloads = [
+            (ddg, machine, variant, certify_config, severity)
+            for ddg in loops
+        ]
+        with ProcessPoolExecutor(max_workers=args.workers) as pool:
+            for loop_report in pool.map(
+                _certify_loop_worker, payloads
+            ):
+                report.extend(loop_report)
+    else:
+        for ddg in loops:
+            report.extend(
+                _certify_one(
+                    ddg, machine, variant, certify_config, severity
+                )
+            )
+    rendered = render(report, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output} ({report.summary()})")
+    else:
+        print(rendered)
+    return 0 if args.exit_zero else report.exit_code
 
 
 def _add_lint_select_flags(parser: argparse.ArgumentParser) -> None:
@@ -481,6 +666,37 @@ def _add_lint_gate_flag(parser: argparse.ArgumentParser) -> None:
         default=None, metavar="strict",
         help="lint every compiled artifact; '--lint strict' treats "
              "lint errors as compilation failures",
+    )
+
+
+def _add_certify_gate_flag(parser: argparse.ArgumentParser) -> None:
+    """The ``--certify[=strict]`` gate flag on compile/experiment."""
+    parser.add_argument(
+        "--certify", nargs="?", const="on", choices=["on", "strict"],
+        default=None, metavar="strict",
+        help="emit + independently verify a certificate for every "
+             "compiled artifact; '--certify strict' treats "
+             "certificate failures as compilation failures",
+    )
+    _add_exact_flags(parser)
+
+
+def _add_exact_flags(parser: argparse.ArgumentParser) -> None:
+    """The exact-oracle flag set shared by ``certify`` and the gates."""
+    parser.add_argument(
+        "--exact", action="store_true",
+        help="also run the bounded exact II-tightness oracle on every "
+             "verified certificate (loose IIs report as CERT690)",
+    )
+    parser.add_argument(
+        "--exact-budget", type=int, default=12, metavar="NODES",
+        help="largest annotated-graph size the exact oracle searches "
+             "(default 12)",
+    )
+    parser.add_argument(
+        "--exact-backtracks", type=int, default=20000, metavar="N",
+        help="row bindings the exact search may try before giving up "
+             "as budget_exhausted (default 20000)",
     )
 
 
@@ -559,6 +775,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(compile_parser)
     _add_lint_gate_flag(compile_parser)
+    _add_certify_gate_flag(compile_parser)
     _add_lint_select_flags(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
@@ -605,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(experiment_parser)
     _add_trace_flags(experiment_parser)
     _add_lint_gate_flag(experiment_parser)
+    _add_certify_gate_flag(experiment_parser)
     _add_lint_select_flags(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
 
@@ -651,8 +869,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="FILE",
         help="write the rendered report to a file instead of stdout",
     )
+    lint_parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="deep-lint loops over N worker processes (report is "
+             "byte-identical to a serial run)",
+    )
+    lint_parser.add_argument(
+        "--exit-zero", action="store_true",
+        help="always exit 0, even with error-severity findings "
+             "(report-only CI runs)",
+    )
     _add_lint_select_flags(lint_parser)
     lint_parser.set_defaults(func=_cmd_lint)
+
+    certify_parser = sub.add_parser(
+        "certify",
+        help="emit + independently verify compilation certificates "
+             "(see docs/CERTIFICATES.md)",
+    )
+    certify_parser.add_argument(
+        "paths", nargs="*",
+        help="loop or corpus files ('-' for stdin); default is the "
+             "bundled corpus",
+    )
+    certify_parser.add_argument(
+        "--machine", default="2gp", help=f"one of {sorted(MACHINES)}"
+    )
+    certify_parser.add_argument(
+        "--variant", default="heuristic-iterative",
+        choices=sorted(VARIANTS),
+    )
+    certify_parser.add_argument(
+        "--kernels", action="store_true",
+        help="also certify every hand-written paper kernel",
+    )
+    certify_parser.add_argument(
+        "--bundled", action="store_true",
+        help="also certify the bundled corpus (the default when no "
+             "other source is given)",
+    )
+    certify_parser.add_argument(
+        "--suite", type=int, default=0, metavar="N",
+        help="also certify paper_suite(N)",
+    )
+    certify_parser.add_argument(
+        "--fast", action="store_true",
+        help="certificate verification only: never run the exact "
+             "oracle (overrides --exact)",
+    )
+    certify_parser.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"],
+        help="output format (default text)",
+    )
+    certify_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the rendered report to a file instead of stdout",
+    )
+    certify_parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="certify loops over N worker processes (report is "
+             "byte-identical to a serial run)",
+    )
+    certify_parser.add_argument(
+        "--exit-zero", action="store_true",
+        help="always exit 0, even with certificate failures "
+             "(report-only CI runs)",
+    )
+    certify_parser.add_argument(
+        "--severity", action="append", default=None,
+        metavar="CODE=LEVEL",
+        help="override a diagnostic's severity (error/warning/info), "
+             "repeatable",
+    )
+    _add_exact_flags(certify_parser)
+    certify_parser.set_defaults(func=_cmd_certify)
 
     campaign_parser = sub.add_parser(
         "campaign", help="regenerate every paper table and figure"

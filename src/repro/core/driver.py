@@ -53,6 +53,18 @@ class CompiledLoop:
     #: Populated when compilation ran with a lint gate
     #: (``lint_config`` passed to :func:`compile_loop`).
     lint_report: Optional[object] = None
+    #: Populated when compilation ran with a certify gate
+    #: (``certify_config`` passed to :func:`compile_loop`); a
+    #: :class:`repro.certify.CertifiedArtifact`.
+    certified: Optional[object] = None
+
+    @property
+    def certificate(self) -> Optional[object]:
+        """The compile's :class:`repro.certify.Certificate`, if any."""
+        return (
+            self.certified.certificate
+            if self.certified is not None else None
+        )
 
     @property
     def copy_count(self) -> int:
@@ -79,6 +91,7 @@ def compile_loop(
     verify: bool = False,
     min_ii: Optional[int] = None,
     lint_config=None,
+    certify_config=None,
 ) -> CompiledLoop:
     """Assign and modulo-schedule ``ddg`` on ``machine`` (Figure 5 loop).
 
@@ -90,6 +103,12 @@ def compile_loop(
     analyzer over the compiled artifacts and attaches the report as
     ``CompiledLoop.lint_report``; with ``lint_config.strict`` a report
     containing errors raises :class:`CompilationError`.
+
+    ``certify_config`` (a :class:`repro.certify.CertifyConfig`) emits
+    the compilation certificate, verifies it with the independent
+    checker, and attaches the result as ``CompiledLoop.certified``;
+    with ``certify_config.strict`` a certificate failure raises
+    :class:`CompilationError`.
     """
     unified = machine.unified_equivalent()
     machine_mii = mii(ddg, unified)
@@ -154,6 +173,24 @@ def compile_loop(
                         f"{ddg.name or 'loop'} on {machine.name}: "
                         + "; ".join(
                             str(d) for d in report.errors[:4]
+                        )
+                    )
+            if certify_config is not None:
+                from ..certify.gate import certify_compiled
+
+                certified = certify_compiled(compiled, certify_config)
+                compiled.certified = certified
+                obs.count(
+                    "driver.certify_failures", len(certified.issues)
+                )
+                if certify_config.strict and not certified.ok:
+                    obs.count("driver.certify_rejections")
+                    raise CompilationError(
+                        f"certify gate rejected "
+                        f"{ddg.name or 'loop'} on {machine.name}: "
+                        + "; ".join(
+                            str(issue)
+                            for issue in certified.issues[:4]
                         )
                     )
             return compiled

@@ -88,11 +88,19 @@ CODE_RULE_CRASH = "LINT001"
 CODE_COMPILE_FAILURE = "LINT002"
 
 
-def rule_crash(rule_code: str, loop: str, error: BaseException) -> Diagnostic:
-    """The engine's containment diagnostic for a crashing rule."""
+def rule_crash(
+    rule_code: str, loop: str, error: BaseException,
+    severity: str = SEVERITY_ERROR,
+) -> Diagnostic:
+    """The engine's containment diagnostic for a crashing rule.
+
+    ``severity`` lets a config override (``--severity LINT001=warning``)
+    demote engine meta-diagnostics the same way it demotes rule
+    findings, so exit codes track *effective* severities only.
+    """
     return Diagnostic(
         code=CODE_RULE_CRASH,
-        severity=SEVERITY_ERROR,
+        severity=severity,
         rule="rule-crash",
         loop=loop,
         artifact="lint",
@@ -102,11 +110,13 @@ def rule_crash(rule_code: str, loop: str, error: BaseException) -> Diagnostic:
     )
 
 
-def compile_failure(loop: str, error: BaseException) -> Diagnostic:
+def compile_failure(
+    loop: str, error: BaseException, severity: str = SEVERITY_ERROR
+) -> Diagnostic:
     """Deep lint could not build the pipeline artifacts for a loop."""
     return Diagnostic(
         code=CODE_COMPILE_FAILURE,
-        severity=SEVERITY_ERROR,
+        severity=severity,
         rule="compile-failure",
         loop=loop,
         artifact="pipeline",

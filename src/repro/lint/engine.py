@@ -21,6 +21,8 @@ from ..ddg.transform import AnnotatedDdg
 from ..machine.machine import Machine
 from ..scheduling.schedule import Schedule
 from .diagnostics import (
+    CODE_COMPILE_FAILURE,
+    CODE_RULE_CRASH,
     SEVERITY_ERROR,
     SEVERITY_INFO,
     SEVERITY_WARNING,
@@ -156,7 +158,12 @@ def lint_target(
                 findings = list(rule.check(target, config))
             except Exception as exc:  # containment: a rule bug must
                 diagnostics.append(  # not kill the run
-                    rule_crash(rule.code, target.name, exc)
+                    rule_crash(
+                        rule.code, target.name, exc,
+                        severity=config.severity.get(
+                            CODE_RULE_CRASH, SEVERITY_ERROR
+                        ),
+                    )
                 )
                 continue
             if not findings:
@@ -247,7 +254,12 @@ def lint_loop_deep(
     except (CompilationError, ValueError) as exc:
         obs.count("lint.compile_failures")
         report.diagnostics.append(
-            compile_failure(ddg.name or "loop", exc)
+            compile_failure(
+                ddg.name or "loop", exc,
+                severity=config.severity.get(
+                    CODE_COMPILE_FAILURE, SEVERITY_ERROR
+                ),
+            )
         )
         return report
     # The shallow target already ran the pipeline-level differential

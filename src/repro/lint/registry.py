@@ -10,6 +10,7 @@ stable code grouped by artifact family:
 ``ASSIGN3xx`` legality of the cluster-annotated graph
 ``SCHED4xx``  modulo-schedule constraints and modulo properties
 ``REG5xx``    lifetime / MVE register-allocation consistency
+``CERT6xx``   compilation-certificate verification
 ========== ======================================================
 
 A rule's check function receives ``(target, config)`` and yields
@@ -33,9 +34,10 @@ FAMILIES = {
     "ASSIGN3": "annotated-graph legality",
     "SCHED4": "modulo-schedule constraints",
     "REG5": "register lifetime / MVE consistency",
+    "CERT6": "certificate verification",
 }
 
-_CODE = re.compile(r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5)\d\d$")
+_CODE = re.compile(r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6)\d\d$")
 
 
 class Finding(NamedTuple):
@@ -167,6 +169,7 @@ def _load_rule_modules() -> None:
     """Import every rules module so the registry is fully populated."""
     from . import (  # noqa: F401  (imported for registration side effect)
         rules_assign,
+        rules_cert,
         rules_ddg,
         rules_machine,
         rules_reg,

@@ -1,0 +1,186 @@
+"""CERT6xx — certificate verification bridged into the lint stream.
+
+These rules emit and verify a full compilation certificate
+(:mod:`repro.certify`) for a compiled target and re-report each checker
+section's issues under its stable code, so certificate failures flow
+through the same report/render/gate machinery as every other finding.
+
+Certification re-derives MII witnesses, routes, occupancy tables, and
+lifetimes, so the family is default-off; ``repro certify`` and the
+``--certify`` pipeline gate enable it implicitly, and ``repro lint
+--enable CERT600 ...`` opts in explicitly.  The certified artifact is
+memoized on the target cache, so enabling several CERT rules still
+certifies once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .registry import Finding, rule
+
+_CACHE_KEY = "certify.artifact"
+
+_REQUIRES = ("graph", "machine", "annotated", "schedule")
+
+
+def _certified(target):
+    """The target's certified artifact, computed once per target."""
+    artifact = target.cache.get(_CACHE_KEY)
+    if artifact is None:
+        from ..certify.check import check_certificate
+        from ..certify.emit import certificate_for
+        from ..certify.gate import CertifiedArtifact
+        from ..ddg.mii import mii
+
+        graph = target.graph
+        machine = target.effective_machine
+        certificate = certificate_for(
+            graph,
+            machine,
+            target.annotated,
+            target.schedule,
+            mii(graph, machine.unified_equivalent()),
+        )
+        artifact = CertifiedArtifact(
+            certificate,
+            tuple(check_certificate(certificate, graph, machine)),
+        )
+        target.cache[_CACHE_KEY] = artifact
+    return artifact
+
+
+def _section(target, code: str) -> List[Finding]:
+    return [
+        Finding(location=issue.location, message=issue.message)
+        for issue in _certified(target).issues
+        if issue.code == code
+    ]
+
+
+@rule(
+    "CERT600",
+    "cert-graph-fidelity",
+    "error",
+    "annotated graph witness is a faithful extension of the input DDG",
+    requires=_REQUIRES,
+    artifact="annotated",
+    default_enabled=False,
+)
+def check_cert_graph(target, config) -> Iterable[Finding]:
+    return _section(target, "CERT600")
+
+
+@rule(
+    "CERT601",
+    "cert-recurrence-witness",
+    "error",
+    "RecMII witness cycle exists, is maximal, and attains its bound",
+    requires=_REQUIRES,
+    artifact="ddg",
+    default_enabled=False,
+)
+def check_cert_recurrence(target, config) -> Iterable[Finding]:
+    return _section(target, "CERT601")
+
+
+@rule(
+    "CERT602",
+    "cert-resource-witness",
+    "error",
+    "ResMII counting evidence matches an independent recount",
+    requires=_REQUIRES,
+    artifact="machine",
+    default_enabled=False,
+)
+def check_cert_resources(target, config) -> Iterable[Finding]:
+    return _section(target, "CERT602")
+
+
+@rule(
+    "CERT603",
+    "cert-copy-routing",
+    "error",
+    "every cross-cluster value flow rides a legal witnessed copy route",
+    requires=_REQUIRES,
+    artifact="annotated",
+    default_enabled=False,
+)
+def check_cert_assignment(target, config) -> Iterable[Finding]:
+    return _section(target, "CERT603")
+
+
+@rule(
+    "CERT604",
+    "cert-timing",
+    "error",
+    "per-edge timing slack witnesses are correct and non-negative",
+    requires=_REQUIRES,
+    artifact="schedule",
+    default_enabled=False,
+)
+def check_cert_timing(target, config) -> Iterable[Finding]:
+    return _section(target, "CERT604")
+
+
+@rule(
+    "CERT605",
+    "cert-occupancy",
+    "error",
+    "per-(resource, row) occupancy slots match capacity and recount",
+    requires=_REQUIRES,
+    artifact="schedule",
+    default_enabled=False,
+)
+def check_cert_occupancy(target, config) -> Iterable[Finding]:
+    return _section(target, "CERT605")
+
+
+@rule(
+    "CERT606",
+    "cert-lifetimes",
+    "error",
+    "lifetime intervals and MVE register assignment are overlap-free",
+    requires=_REQUIRES,
+    artifact="regalloc",
+    default_enabled=False,
+)
+def check_cert_regalloc(target, config) -> Iterable[Finding]:
+    return _section(target, "CERT606")
+
+
+@rule(
+    "CERT690",
+    "cert-loose-ii",
+    "warning",
+    "exact bounded oracle found a valid schedule below the achieved II",
+    requires=_REQUIRES,
+    artifact="schedule",
+    default_enabled=False,
+)
+def check_cert_loose_ii(target, config) -> Iterable[Finding]:
+    from ..certify.exact import STATUS_LOOSE, probe_tightness
+
+    artifact = _certified(target)
+    if artifact.issues:
+        # A forged certificate proves nothing about tightness.
+        return []
+    result = probe_tightness(
+        artifact.certificate, target.graph, target.effective_machine
+    )
+    if result.status != STATUS_LOOSE:
+        return []
+    return [
+        Finding(
+            location=f"ii {artifact.certificate.ii}",
+            message=(
+                f"achieved II={artifact.certificate.ii} is loose: the "
+                f"exact oracle found a valid schedule at "
+                f"II={result.probed_ii}"
+            ),
+            hint=(
+                "the heuristic scheduler missed a feasible schedule "
+                "under this cluster assignment"
+            ),
+        )
+    ]

@@ -1,0 +1,26 @@
+"""Shared compiled artifacts for the certificate tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certify import emit_certificate
+from repro.core import compile_loop
+
+
+@pytest.fixture
+def compiled_intro(intro_example, two_gp):
+    """The paper's intro example compiled on the 2-cluster machine
+    (RecMII = 4, so the recurrence witness carries a real cycle)."""
+    return compile_loop(intro_example, two_gp)
+
+
+@pytest.fixture
+def intro_certificate(compiled_intro):
+    return emit_certificate(compiled_intro)
+
+
+@pytest.fixture
+def compiled_chain(chain3, two_gp):
+    """An acyclic loop: RecMII = 0, exercises the empty-cycle path."""
+    return compile_loop(chain3, two_gp)

@@ -1,0 +1,153 @@
+"""The exact II-tightness oracle: every verdict class, on purpose."""
+
+import pytest
+
+from repro.certify import (
+    STATUS_BUDGET,
+    STATUS_LOOSE,
+    STATUS_SKIPPED,
+    STATUS_TIGHT,
+    ExactBudget,
+    emit_certificate,
+    probe_tightness,
+)
+from repro.core import compile_loop
+from repro.ddg import Opcode, build_ddg
+
+
+@pytest.fixture
+def loose_compiled(chain3, two_gp):
+    """chain3 schedules at II=1; forcing min_ii=2 makes the achieved
+    II provably loose."""
+    return compile_loop(chain3, two_gp, min_ii=2)
+
+
+class TestTight:
+    def test_recurrence_bound(self, compiled_intro):
+        # intro_example: RecMII=4 == II, so II-1 is blocked by the
+        # critical cycle without any search.
+        cert = emit_certificate(compiled_intro)
+        result = probe_tightness(
+            cert, compiled_intro.ddg, compiled_intro.machine
+        )
+        assert result.status == STATUS_TIGHT
+        assert result.reason == "recurrence_bound"
+        assert result.proved
+        assert result.backtracks == 0
+
+    def test_ii_is_minimal(self, compiled_chain):
+        assert compiled_chain.ii == 1
+        cert = emit_certificate(compiled_chain)
+        result = probe_tightness(
+            cert, compiled_chain.ddg, compiled_chain.machine
+        )
+        assert result.status == STATUS_TIGHT
+        assert result.reason == "ii_is_minimal"
+
+    def test_resource_bound(self, two_gp):
+        # Nine independent alu ops on a 2x4-issue machine: one cluster
+        # holds >= 5, so ceil(5/4) = 2 > II-1 = 1.  Caught by counting
+        # alone, no search.
+        ddg = build_ddg(
+            ops=[(f"n{i}", Opcode.ALU) for i in range(9)], deps=[]
+        )
+        compiled = compile_loop(ddg, two_gp)
+        assert compiled.ii == 2
+        cert = emit_certificate(compiled)
+        result = probe_tightness(cert, ddg, two_gp)
+        assert result.status == STATUS_TIGHT
+        assert result.reason == "resource_bound"
+        assert result.proved
+
+
+class TestLoose:
+    def test_finds_schedule_at_lower_ii(self, loose_compiled):
+        assert loose_compiled.ii == 2
+        cert = emit_certificate(loose_compiled)
+        result = probe_tightness(
+            cert, loose_compiled.ddg, loose_compiled.machine
+        )
+        assert result.status == STATUS_LOOSE
+        assert result.probed_ii == 1
+        assert result.proved  # "loose" is a definite verdict too
+
+    def test_returned_schedule_is_valid(self, loose_compiled):
+        cert = emit_certificate(loose_compiled)
+        result = probe_tightness(
+            cert, loose_compiled.ddg, loose_compiled.machine
+        )
+        assert result.schedule is not None
+        start = dict(result.schedule)
+        ii = result.probed_ii
+        latency = {
+            n.node_id: n.latency for n in loose_compiled.ddg.nodes
+        }
+        assert set(start) >= set(latency)
+        for edge in loose_compiled.ddg.edges:
+            assert (
+                start[edge.dst] + edge.distance * ii
+                >= start[edge.src] + latency[edge.src]
+            ), f"edge {edge.src}->{edge.dst} violated at II={ii}"
+
+
+class TestBudgets:
+    def test_node_budget_skips(self, compiled_intro):
+        cert = emit_certificate(compiled_intro)
+        result = probe_tightness(
+            cert, compiled_intro.ddg, compiled_intro.machine,
+            budget=ExactBudget(node_budget=1),
+        )
+        assert result.status == STATUS_SKIPPED
+        assert not result.proved
+
+    def test_backtrack_budget_exhausts(self, two_gp):
+        # A loop the oracle must actually search on (not pre-check):
+        # compile at an inflated II so the target II is feasible-ish
+        # but the search is cut off after a single backtrack.
+        ddg = build_ddg(
+            ops=[(f"n{i}", Opcode.ALU) for i in range(8)],
+            deps=[(f"n{i}", f"n{i+1}", 0) for i in range(7)],
+        )
+        compiled = compile_loop(ddg, two_gp, min_ii=3)
+        cert = emit_certificate(compiled)
+        result = probe_tightness(
+            cert, ddg, two_gp,
+            budget=ExactBudget(backtrack_budget=0),
+        )
+        assert result.status in (STATUS_BUDGET, STATUS_LOOSE)
+        if result.status == STATUS_BUDGET:
+            assert not result.proved
+
+    def test_generous_budget_settles_the_question(self, two_gp):
+        ddg = build_ddg(
+            ops=[(f"n{i}", Opcode.ALU) for i in range(8)],
+            deps=[(f"n{i}", f"n{i+1}", 0) for i in range(7)],
+        )
+        compiled = compile_loop(ddg, two_gp, min_ii=3)
+        cert = emit_certificate(compiled)
+        result = probe_tightness(
+            cert, ddg, two_gp,
+            budget=ExactBudget(node_budget=16,
+                               backtrack_budget=200000),
+        )
+        # An 8-op chain of unit-latency alu ops fits at II=2 easily.
+        assert result.status == STATUS_LOOSE
+        assert result.probed_ii == 2
+
+
+class TestDefaults:
+    def test_default_budget_on_corpus_sample(self, two_gp):
+        from repro.workloads import bundled_corpus
+
+        statuses = set()
+        for ddg in list(bundled_corpus())[:8]:
+            compiled = compile_loop(ddg, two_gp)
+            cert = emit_certificate(compiled)
+            result = probe_tightness(cert, ddg, two_gp)
+            statuses.add(result.status)
+            # Whatever the verdict, it must be one of the contract's.
+            assert result.status in (
+                STATUS_TIGHT, STATUS_LOOSE, STATUS_BUDGET,
+                STATUS_SKIPPED,
+            )
+        assert statuses  # at least one loop probed

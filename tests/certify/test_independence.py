@@ -1,0 +1,133 @@
+"""The verifier must stand alone.
+
+The whole value of a certificate is that the checker does not share
+code with the pipeline that produced it.  This test walks the static
+import graph of ``repro.certify.check`` and ``repro.certify.exact``
+and asserts the transitive closure inside ``repro`` never leaves the
+certify package's independent core (witness + check + exact).  Any
+import of ``repro.core``, ``repro.scheduling``, ``repro.mrt`` &c. is
+a contract violation, even an unused one.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.certify
+
+CERTIFY_DIR = Path(repro.certify.__file__).resolve().parent
+
+#: The only repro modules the independent core may reach.
+ALLOWED = {
+    "repro.certify",
+    "repro.certify.witness",
+    "repro.certify.check",
+    "repro.certify.exact",
+}
+
+ROOTS = ["repro.certify.check", "repro.certify.exact"]
+
+
+def _module_path(module):
+    name = module.rsplit(".", 1)[-1]
+    candidate = CERTIFY_DIR / f"{name}.py"
+    if module == "repro.certify":
+        candidate = CERTIFY_DIR / "__init__.py"
+    return candidate if candidate.exists() else None
+
+
+def _imports_of(module):
+    """Absolute repro-module names statically imported by ``module``."""
+    path = _module_path(module)
+    if path is None:
+        return set()
+    tree = ast.parse(path.read_text())
+    package = module.rsplit(".", 1)[0]
+    found = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                parts = package.split(".")
+                if node.level > 1:
+                    parts = parts[: len(parts) - (node.level - 1)]
+                base = ".".join(parts)
+                if node.module:
+                    base = f"{base}.{node.module}"
+            found.add(base)
+            for alias in node.names:
+                found.add(f"{base}.{alias.name}")
+    return {name for name in found if name.startswith("repro")}
+
+
+def _closure(roots):
+    seen = set()
+    frontier = list(roots)
+    while frontier:
+        module = frontier.pop()
+        if module in seen:
+            continue
+        seen.add(module)
+        frontier.extend(_imports_of(module))
+    return seen
+
+
+class TestCheckerIndependence:
+    def test_closure_stays_inside_the_independent_core(self):
+        closure = _closure(ROOTS)
+        # Keep only names that resolve to real modules (the walk also
+        # collects `from .witness import Certificate`-style symbols).
+        modules = {m for m in closure if _module_path(m) is not None
+                   or m in ALLOWED}
+        offenders = modules - ALLOWED
+        assert not offenders, (
+            "verifier imports pipeline code: "
+            f"{sorted(offenders)}"
+        )
+
+    def test_no_pipeline_packages_anywhere_in_closure(self):
+        closure = _closure(ROOTS)
+        banned = ("repro.core", "repro.scheduling", "repro.mrt",
+                  "repro.regalloc", "repro.assign", "repro.ddg",
+                  "repro.machine", "repro.lint", "repro.analysis")
+        for module in closure:
+            assert not module.startswith(banned), module
+
+    def test_witness_is_also_standalone(self):
+        closure = _closure(["repro.certify.witness"])
+        assert {m for m in closure if m != "repro.certify.witness"
+                and _module_path(m) is not None} == set()
+
+    def test_emit_is_not_in_the_checker_closure(self):
+        # emit.py is allowed (required, even) to import the pipeline;
+        # the point is that check/exact never reach it.
+        closure = _closure(ROOTS)
+        assert "repro.certify.emit" not in closure
+        assert "repro.certify.gate" not in closure
+
+    def test_package_init_lazy_loads_pipeline_half(self):
+        # Importing repro.certify eagerly must not drag emit/gate in:
+        # the __init__ exposes them via module __getattr__ only.
+        import importlib
+        import subprocess
+        import sys
+
+        assert importlib  # silence unused in case of refactor
+        # (The parent `repro` package eagerly imports the pipeline,
+        # so only the certify-local modules are meaningful here.)
+        code = (
+            "import sys; import repro.certify; "
+            "assert 'repro.certify.check' in sys.modules; "
+            "assert 'repro.certify.exact' in sys.modules; "
+            "assert 'repro.certify.emit' not in sys.modules; "
+            "assert 'repro.certify.gate' not in sys.modules"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(CERTIFY_DIR.parents[1])},
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,87 @@
+"""The certificate schema: pure data, JSON round-trippable."""
+
+import dataclasses
+import json
+
+from repro.certify import (
+    Certificate,
+    RecMiiWitness,
+    ResMiiWitness,
+    emit_certificate,
+    from_dict,
+)
+from repro.certify.check import check_certificate
+
+
+class TestSchema:
+    def test_certificate_is_frozen(self, intro_certificate):
+        try:
+            intro_certificate.ii = 99
+        except dataclasses.FrozenInstanceError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("certificate must be immutable")
+
+    def test_recmii_witness_sums(self):
+        witness = RecMiiWitness(
+            value=4, cycle=((1, 2, 1, 0), (2, 3, 2, 0), (3, 1, 1, 1))
+        )
+        assert witness.cycle_latency == 4
+        assert witness.cycle_distance == 1
+
+    def test_ii_floor(self, intro_certificate):
+        cert = intro_certificate
+        assert cert.ii_floor == max(
+            cert.sched_recmii.value, cert.sched_resources.value, 1
+        )
+        assert cert.ii >= cert.ii_floor
+
+    def test_mii_fields(self, intro_certificate):
+        cert = intro_certificate
+        assert cert.recmii.value == 4  # the paper's walk-through
+        assert cert.mii == max(cert.recmii.value, cert.resmii.value, 1)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, intro_certificate):
+        doc = intro_certificate.to_dict()
+        assert from_dict(doc) == intro_certificate
+
+    def test_json_round_trip(self, intro_certificate):
+        text = json.dumps(intro_certificate.to_dict(), sort_keys=True)
+        rebuilt = from_dict(json.loads(text))
+        assert rebuilt == intro_certificate
+        assert (
+            json.dumps(rebuilt.to_dict(), sort_keys=True) == text
+        )
+
+    def test_rebuilt_certificate_still_verifies(
+        self, compiled_intro, intro_certificate
+    ):
+        rebuilt = from_dict(
+            json.loads(json.dumps(intro_certificate.to_dict()))
+        )
+        issues = check_certificate(
+            rebuilt, compiled_intro.ddg, compiled_intro.machine
+        )
+        assert issues == []
+
+    def test_empty_witnesses_round_trip(self, compiled_chain):
+        cert = emit_certificate(compiled_chain)
+        assert cert.recmii.value == 0
+        assert cert.recmii.cycle == ()
+        assert from_dict(cert.to_dict()) == cert
+
+    def test_to_dict_is_json_plain(self, intro_certificate):
+        doc = intro_certificate.to_dict()
+        assert isinstance(doc, dict)
+        # No tuples or dataclasses may survive into the plain form.
+        json.dumps(doc)
+        assert isinstance(doc["graph"]["nodes"], list)
+        assert not isinstance(
+            doc["schedule"]["slots"][0], type(intro_certificate)
+        )
+
+    def test_types_exported(self):
+        assert Certificate.__name__ == "Certificate"
+        assert ResMiiWitness(value=1).demand == ()

@@ -1,0 +1,139 @@
+"""MVE expansion edge cases: II=1, single-stage, empty-epilogue loops.
+
+Beyond structural invariants, every expanded pipeline must round-trip:
+the kernel rows plus per-op stages reconstruct the start cycles, and
+the reconstructed schedule re-verifies against the SCHED4xx gating
+rules.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.codegen import expand_pipeline
+from repro.core import compile_loop
+from repro.ddg import Ddg, Opcode, build_ddg
+from repro.scheduling import Schedule
+from repro.scheduling.verify import assert_valid, check_schedule
+
+
+def reconstruct(code, compiled):
+    """Rebuild the start map from the expanded kernel: an op in kernel
+    row r at stage s started at s*II + r."""
+    start = {}
+    for row_index, row in enumerate(code.kernel):
+        for entry in row:
+            start[entry.node_id] = entry.stage * code.ii + row_index
+    return Schedule(
+        annotated=compiled.schedule.annotated,
+        ii=code.ii,
+        start=start,
+    )
+
+
+def round_trip(compiled):
+    code = expand_pipeline(compiled.schedule)
+    rebuilt = reconstruct(code, compiled)
+    assert rebuilt.start == compiled.schedule.start
+    assert_valid(rebuilt)
+    return code
+
+
+@pytest.fixture
+def ii1_loop(two_gp):
+    """Three independent ops: schedules at II=1 with multiple stages
+    (load latency pushes its consumer into a later stage)."""
+    ddg = build_ddg(
+        ops=[("ld", Opcode.LOAD), ("mul", Opcode.FP_MULT),
+             ("st", Opcode.STORE)],
+        deps=[("ld", "mul", 0), ("mul", "st", 0)],
+    )
+    compiled = compile_loop(ddg, two_gp)
+    assert compiled.ii == 1
+    return compiled
+
+
+class TestIiOne:
+    def test_kernel_is_one_cycle(self, ii1_loop):
+        code = round_trip(ii1_loop)
+        assert code.ii == 1
+        assert len(code.kernel) == 1
+
+    def test_every_stage_ramps(self, ii1_loop):
+        code = expand_pipeline(ii1_loop.schedule)
+        stages = ii1_loop.schedule.stage_count
+        assert stages > 1  # the latencies force a deep pipeline
+        assert code.prologue_cycles == stages - 1
+        assert code.min_trip_count() == stages
+
+    def test_rows_collapse_to_row_zero(self, ii1_loop):
+        for node_id in ii1_loop.annotated.ddg.node_ids:
+            assert ii1_loop.schedule.row(node_id) == 0
+
+
+class TestSingleStage:
+    def test_empty_prologue_and_epilogue(self, uni8):
+        graph = Ddg()
+        a = graph.add_node(Opcode.ALU)
+        b = graph.add_node(Opcode.ALU)
+        graph.add_edge(a, b, distance=1)
+        compiled = compile_loop(graph, uni8)
+        code = expand_pipeline(compiled.schedule)
+        if compiled.schedule.stage_count == 1:
+            assert code.prologue == []
+            assert code.epilogue == []
+            assert code.min_trip_count() == 1
+        round_trip(compiled)
+
+    def test_single_op_loop(self, two_gp):
+        graph = Ddg()
+        graph.add_node(Opcode.ALU)
+        compiled = compile_loop(graph, two_gp)
+        code = round_trip(compiled)
+        assert code.static_instruction_count == \
+            compiled.schedule.stage_count
+        assert code.prologue_cycles == \
+            (compiled.schedule.stage_count - 1) * compiled.ii
+
+
+class TestEmptyEpilogueStages:
+    def test_last_stage_ops_never_drain(self, two_gp):
+        # Every op in the final stage appears zero times in the
+        # epilogue; a loop whose ops all land in stage 0 therefore has
+        # an empty epilogue even when II > 1.
+        ddg = build_ddg(
+            ops=[(f"n{i}", Opcode.ALU) for i in range(9)], deps=[]
+        )
+        compiled = compile_loop(ddg, two_gp)
+        code = round_trip(compiled)
+        if compiled.schedule.stage_count == 1:
+            assert code.epilogue == []
+        epilogue_ops = Counter(
+            e.node_id for cycle in code.epilogue for e in cycle
+        )
+        last = compiled.schedule.stage_count - 1
+        for node_id in compiled.annotated.ddg.node_ids:
+            if compiled.schedule.stage(node_id) == last:
+                assert epilogue_ops.get(node_id, 0) == 0
+
+
+class TestRoundTripSweep:
+    def test_paper_kernels_round_trip(self, two_gp, grid):
+        from repro.workloads import all_kernels
+
+        for machine in (two_gp, grid):
+            for loop in all_kernels():
+                compiled = compile_loop(loop, machine)
+                round_trip(compiled)
+
+    def test_violation_is_detected_after_tampering(self, ii1_loop):
+        # Sanity-check the round-trip oracle itself: shifting one op
+        # off its dependence-feasible cycle must surface violations.
+        start = dict(ii1_loop.schedule.start)
+        victim = next(iter(start))
+        start[victim] += ii1_loop.schedule.stage_count * ii1_loop.ii
+        tampered = Schedule(
+            annotated=ii1_loop.schedule.annotated,
+            ii=ii1_loop.ii, start=start,
+        )
+        assert check_schedule(tampered)

@@ -12,7 +12,9 @@ from repro.lint import (
     rules_in_family,
 )
 
-CODE_PATTERN = re.compile(r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5)\d\d$")
+CODE_PATTERN = re.compile(
+    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6)\d\d$"
+)
 
 KNOWN_ARTIFACTS = {"graph", "machine", "annotated", "schedule"}
 
@@ -34,7 +36,7 @@ class TestRegistry:
     def test_rule_count_is_stable(self):
         # Adding a rule is fine -- bump this count alongside the
         # docs/LINTING.md catalog so they cannot drift apart.
-        assert len(all_rules()) == 37
+        assert len(all_rules()) == 45
 
     def test_family_property_matches_prefix(self):
         for rule in all_rules():
@@ -50,11 +52,15 @@ class TestRegistry:
             assert rule.name
             assert rule.description
 
-    def test_differential_rule_is_default_off(self):
-        (differential,) = [
-            r for r in all_rules() if not r.default_enabled
-        ]
-        assert differential.code == "SCHED490"
+    def test_default_off_rules(self):
+        # The differential cross-check and the whole certificate
+        # family are opt-in (both recompile / re-derive everything).
+        off = {r.code for r in all_rules() if not r.default_enabled}
+        assert "SCHED490" in off
+        assert off - {"SCHED490"} == {
+            code for code in off if code.startswith("CERT6")
+        }
+        assert len(off) == 9
 
 
 class TestLintConfig:
