@@ -8,19 +8,20 @@ the gate adds less than 10% overhead across the two machines combined.
 The certify legs must also come back clean — an overhead number
 measured over a corpus the verifier rejects would be meaningless.
 
-Everything is written to ``BENCH_certify.json`` at the repository root.
+Everything is written to ``BENCH_certify.json`` at the repository
+root, in the shared :mod:`repro.obs.bench` schema.
 
 Run: ``PYTHONPATH=src python -m pytest benchmarks/test_certify_overhead.py -q``
 """
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.analysis import run_experiment
 from repro.certify import DEFAULT_CERTIFY
 from repro.machine import four_cluster_grid, two_cluster_gp
@@ -88,19 +89,24 @@ def test_certify_gate_overhead_under_10_percent():
         certified_total += certified_s
 
     combined = (certified_total - plain_total) / plain_total
-    artifact = {
-        "benchmark": "certify_overhead",
-        "loops": len(loops),
-        "repeats": REPEATS,
-        "machines": per_machine,
-        "plain_total_s": round(plain_total, 6),
-        "certified_total_s": round(certified_total, 6),
-        "combined_overhead": round(combined, 4),
-        "max_overhead": MAX_OVERHEAD,
-        "cert_errors": total_errors,
-        "exact_oracle": "excluded",
-    }
-    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    artifact = obs.bench.make_artifact(
+        "certify_overhead",
+        metrics={
+            "plain_total_s": round(plain_total, 6),
+            "certified_total_s": round(certified_total, 6),
+            "combined_overhead": round(combined, 4),
+        },
+        budgets={"combined_overhead": MAX_OVERHEAD},
+        regression_metrics=["plain_total_s", "certified_total_s"],
+        info={
+            "loops": len(loops),
+            "repeats": REPEATS,
+            "machines": per_machine,
+            "cert_errors": total_errors,
+            "exact_oracle": "excluded",
+        },
+    )
+    obs.bench.write_artifact(artifact, ARTIFACT)
 
     print_report(
         f"Certify-gate overhead — {len(loops)} corpus loops, "

@@ -7,7 +7,8 @@ through the optimized path (compiled DDG views, memoized per-SCC RecMII,
 heap-driven scheduler, counter-based MRT probes), asserts the outcomes
 are bit-identical, times the optimized path again through the PR-2
 engine serially and with 4 workers, and writes everything to
-``BENCH_hotpath.json`` at the repository root.
+``BENCH_hotpath.json`` at the repository root, in the shared
+:mod:`repro.obs.bench` schema.
 
 The >= 2x throughput assertion compares the seed serial wall time
 against the engine's 4-worker wall time and is enforced only when the
@@ -20,13 +21,13 @@ Run: ``PYTHONPATH=src python -m pytest benchmarks/test_hotpath.py -q``
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.analysis import EngineOptions, run_engine_experiment
 from repro.baselines import reference_compile_loop
 from repro.core.driver import compile_loop
@@ -90,24 +91,29 @@ def test_hotpath_speedup_and_bit_identity():
     combined_speedup = serial_speedup * engine_speedup
 
     enforce_speedup = cores >= WORKERS
-    artifact = {
-        "benchmark": "hotpath",
-        "loops": n_loops,
-        "machine": machine.name,
-        "workers": WORKERS,
-        "usable_cores": cores,
-        "seed_serial_s": round(seed_serial_s, 6),
-        "optimized_serial_s": round(opt_serial_s, 6),
-        "serial_speedup": round(serial_speedup, 4),
-        "engine_serial_s": round(engine_serial_s, 6),
-        "engine_parallel_s": round(engine_parallel_s, 6),
-        "engine_speedup": round(engine_speedup, 4),
-        "combined_speedup": round(combined_speedup, 4),
-        "min_speedup": MIN_SPEEDUP,
-        "speedup_enforced": enforce_speedup,
-        "outcomes_identical": True,
-    }
-    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    artifact = obs.bench.make_artifact(
+        "hotpath",
+        metrics={
+            "seed_serial_s": round(seed_serial_s, 6),
+            "optimized_serial_s": round(opt_serial_s, 6),
+            "serial_speedup": round(serial_speedup, 4),
+            "engine_serial_s": round(engine_serial_s, 6),
+            "engine_parallel_s": round(engine_parallel_s, 6),
+            "engine_speedup": round(engine_speedup, 4),
+            "combined_speedup": round(combined_speedup, 4),
+        },
+        regression_metrics=["optimized_serial_s"],
+        info={
+            "loops": n_loops,
+            "machine": machine.name,
+            "workers": WORKERS,
+            "usable_cores": cores,
+            "min_speedup": MIN_SPEEDUP,
+            "speedup_enforced": enforce_speedup,
+            "outcomes_identical": True,
+        },
+    )
+    obs.bench.write_artifact(artifact, ARTIFACT)
 
     print_report(
         f"Hot-path overhaul — {n_loops} loops on {machine.name} "

@@ -7,19 +7,20 @@ than 10% overhead across the two machines combined.  The lint legs must
 also come back clean — an overhead number measured over a corpus the
 gate rejects would be meaningless.
 
-Everything is written to ``BENCH_lint.json`` at the repository root.
+Everything is written to ``BENCH_lint.json`` at the repository root,
+in the shared :mod:`repro.obs.bench` schema.
 
 Run: ``PYTHONPATH=src python -m pytest benchmarks/test_lint_overhead.py -q``
 """
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.analysis import run_experiment
 from repro.lint import DEFAULT_CONFIG
 from repro.machine import four_cluster_grid, two_cluster_gp
@@ -87,19 +88,24 @@ def test_lint_gate_overhead_under_10_percent():
         linted_total += linted_s
 
     combined = (linted_total - plain_total) / plain_total
-    artifact = {
-        "benchmark": "lint_overhead",
-        "loops": len(loops),
-        "repeats": REPEATS,
-        "machines": per_machine,
-        "plain_total_s": round(plain_total, 6),
-        "linted_total_s": round(linted_total, 6),
-        "combined_overhead": round(combined, 4),
-        "max_overhead": MAX_OVERHEAD,
-        "lint_errors": total_diagnostics["errors"],
-        "lint_warnings": total_diagnostics["warnings"],
-    }
-    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    artifact = obs.bench.make_artifact(
+        "lint_overhead",
+        metrics={
+            "plain_total_s": round(plain_total, 6),
+            "linted_total_s": round(linted_total, 6),
+            "combined_overhead": round(combined, 4),
+        },
+        budgets={"combined_overhead": MAX_OVERHEAD},
+        regression_metrics=["plain_total_s", "linted_total_s"],
+        info={
+            "loops": len(loops),
+            "repeats": REPEATS,
+            "machines": per_machine,
+            "lint_errors": total_diagnostics["errors"],
+            "lint_warnings": total_diagnostics["warnings"],
+        },
+    )
+    obs.bench.write_artifact(artifact, ARTIFACT)
 
     print_report(
         f"Lint-gate overhead — {len(loops)} corpus loops, "

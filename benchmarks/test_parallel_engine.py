@@ -4,7 +4,8 @@ Runs the bench suite (>= 100 loops) serially through the reference
 runner and through the 4-worker engine, asserts the two outcome lists
 are bit-identical, verifies fault tolerance on an injected
 unschedulable loop, and writes serial-vs-parallel wall times plus the
-speedup to ``BENCH_parallel_engine.json`` at the repository root.
+speedup to ``BENCH_parallel_engine.json`` at the repository root, in
+the shared :mod:`repro.obs.bench` schema.
 
 The >= 2x speedup assertion is enforced only when the host exposes at
 least 4 usable cores: a process pool cannot beat the serial path on a
@@ -16,11 +17,11 @@ Run: ``PYTHONPATH=src python -m pytest benchmarks/test_parallel_engine.py -q``
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.analysis import (
     EngineOptions,
     run_engine_experiment,
@@ -83,22 +84,27 @@ def test_parallel_engine_speedup_and_equality():
     ]
 
     enforce_speedup = cores >= WORKERS
-    artifact = {
-        "benchmark": "parallel_engine",
-        "loops": n_loops,
-        "machine": machine.name,
-        "workers": WORKERS,
-        "usable_cores": cores,
-        "serial_s": round(serial_s, 6),
-        "parallel_s": round(parallel_s, 6),
-        "speedup": round(speedup, 4),
-        "min_speedup": MIN_SPEEDUP,
-        "speedup_enforced": enforce_speedup,
-        "outcomes_identical": True,
-        "injected_failure_isolated": True,
-        "n_failed_serial": serial.n_failed,
-    }
-    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    artifact = obs.bench.make_artifact(
+        "parallel_engine",
+        metrics={
+            "serial_s": round(serial_s, 6),
+            "parallel_s": round(parallel_s, 6),
+            "speedup": round(speedup, 4),
+        },
+        regression_metrics=["serial_s"],
+        info={
+            "loops": n_loops,
+            "machine": machine.name,
+            "workers": WORKERS,
+            "usable_cores": cores,
+            "min_speedup": MIN_SPEEDUP,
+            "speedup_enforced": enforce_speedup,
+            "outcomes_identical": True,
+            "injected_failure_isolated": True,
+            "n_failed_serial": serial.n_failed,
+        },
+    )
+    obs.bench.write_artifact(artifact, ARTIFACT)
 
     print_report(
         f"Parallel engine — {n_loops} loops, serial vs "

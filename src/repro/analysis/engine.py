@@ -377,17 +377,22 @@ def _measure_loop(
 def _run_chunk(payload: Tuple) -> Tuple:
     """Process-pool task: measure one chunk of (index, loop) pairs.
 
-    Returns ``(records, events)`` where ``records`` is a list of
-    ``(suite_index, outcome, baseline_seconds)`` triples and ``events``
-    is the worker trace's serialized event list (None when the parent
-    was not tracing).
+    Returns ``(records, events, meta)`` where ``records`` is a list of
+    ``(suite_index, outcome, baseline_seconds)`` triples, ``events`` is
+    the worker trace's serialized event list (None when the parent was
+    not tracing), and ``meta`` carries the worker-side correlation
+    facts — pid, trace id, the worker trace's wall-clock epoch, and the
+    chunk's execute wall time — that let the parent rebase the grafted
+    spans onto its own timeline and split queue wait from execution.
     """
     (items, machine, config, verify,
      timeout_seconds, known_ii, want_trace, lint_config,
      certify_config) = payload
     trace = obs.Trace() if want_trace else None
+    meta = None
     if trace is not None:
         obs.install(trace)
+    started = time.perf_counter()
     try:
         unified = machine.unified_equivalent()
         records = []
@@ -399,10 +404,17 @@ def _run_chunk(payload: Tuple) -> Tuple:
             )
             records.append((index, outcome, baseline_seconds))
         events = obs.trace_events(trace) if trace is not None else None
+        if trace is not None:
+            meta = {
+                "pid": os.getpid(),
+                "trace_id": trace.trace_id,
+                "epoch_wall": trace.epoch_wall,
+                "execute_s": time.perf_counter() - started,
+            }
     finally:
         if trace is not None:
             obs.uninstall()
-    return records, events
+    return records, events, meta
 
 
 def _chunked(
@@ -551,8 +563,10 @@ def _run_parallel(
     ]
     by_name = {ddg.name: ddg for _, ddg in pending}
     parent_trace = obs.current_trace()
+    lanes: dict = {}
+    submitted_wall = time.time()
     with ProcessPoolExecutor(max_workers=options.workers) as pool:
-        for records, events in pool.map(_run_chunk, payloads):
+        for records, events, meta in pool.map(_run_chunk, payloads):
             for index, outcome, baseline_seconds in records:
                 result.baseline_seconds += baseline_seconds
                 if outcome.unified_ii > 0:
@@ -562,9 +576,29 @@ def _run_parallel(
                     )
                 outcomes[index] = outcome
             if events and parent_trace is not None:
+                worker_trace = obs.trace_from_events(events)
+                # Stable small lane ids, one per worker process, in
+                # order of first completion; the host span's attrs
+                # carry the queue-wait/execute split so the timeline
+                # and Chrome export can reconstruct per-worker
+                # utilization (docs/EXPERIMENT_ENGINE.md).
+                lane = pid = 0
+                queue_wait = execute = 0.0
+                if meta is not None:
+                    worker_trace.trace_id = meta["trace_id"]
+                    worker_trace.epoch_wall = meta["epoch_wall"]
+                    pid = meta["pid"]
+                    lane = lanes.setdefault(pid, len(lanes))
+                    execute = meta["execute_s"]
+                    if meta["epoch_wall"] is not None:
+                        queue_wait = max(
+                            0.0, meta["epoch_wall"] - submitted_wall
+                        )
                 parent_trace.graft(
-                    obs.trace_from_events(events), name="worker",
-                    chunk_loops=len(records),
+                    worker_trace, name="worker",
+                    chunk_loops=len(records), lane=lane, pid=pid,
+                    queue_wait_s=round(queue_wait, 6),
+                    execute_s=round(execute, 6),
                 )
 
 

@@ -1,4 +1,4 @@
-"""Observability: structured tracing, counters, and phase profiling.
+"""Observability: structured tracing, counters, profiling, and export.
 
 The pipeline is instrumented with :func:`span` / :func:`count` calls —
 no-ops unless a :class:`Trace` is installed on the calling thread::
@@ -9,10 +9,19 @@ no-ops unless a :class:`Trace` is installed on the calling thread::
         compile_loop(ddg, machine)
     print(obs.format_trace_report(trace))
     obs.write_jsonl(trace, "trace.jsonl")
+    obs.write_chrome_trace(trace, "trace.json")   # Perfetto-loadable
 
-See ``docs/OBSERVABILITY.md`` for the span and counter taxonomy.
+CPU attribution is opt-in via :mod:`repro.obs.prof`, benchmark
+artifacts and the regression-tracked history live in
+:mod:`repro.obs.bench`, and parallel runs reconstruct their per-worker
+timelines through :mod:`repro.obs.timeline`.
+
+See ``docs/OBSERVABILITY.md`` for the span and counter taxonomy and
+``docs/PROFILING.md`` for the profiler.
 """
 
+from . import bench, prof, timeline
+from .chrome import chrome_trace_events, write_chrome_trace
 from .render import (
     format_counters,
     format_phase_table,
@@ -22,6 +31,7 @@ from .render import (
 from .sinks import (
     metrics_dict,
     read_jsonl,
+    read_trace,
     trace_events,
     trace_from_events,
     write_jsonl,
@@ -45,6 +55,8 @@ __all__ = [
     "PhaseStats",
     "SpanNode",
     "Trace",
+    "bench",
+    "chrome_trace_events",
     "count",
     "current_trace",
     "enabled",
@@ -54,11 +66,15 @@ __all__ = [
     "format_trace_tree",
     "install",
     "metrics_dict",
+    "prof",
     "read_jsonl",
+    "read_trace",
     "span",
+    "timeline",
     "trace_events",
     "trace_from_events",
     "tracing",
     "uninstall",
+    "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,389 @@
+"""The benchmark observatory: one schema, one history, one gate.
+
+Before this module each ``BENCH_*.json`` perf artifact used its own
+ad-hoc shape and overwrote its predecessor, so the repository's perf
+trajectory across PRs was unrecoverable.  Now every benchmark emitter
+builds its artifact through :func:`make_artifact`:
+
+.. code-block:: json
+
+    {
+      "benchmark": "trace_smoke",
+      "schema_version": 1,
+      "timestamp": "2026-08-07T12:00:00Z",
+      "host": {"platform": "...", "python": "3.11.7", "cores": 4},
+      "metrics": {"untraced_s": 0.04, "overhead_fraction": 0.054},
+      "budgets": {"overhead_fraction": 0.10},
+      "regression_metrics": ["untraced_s", "traced_s"],
+      "info": {"machine": "2cl-gp-b2-p1", "loops": 20}
+    }
+
+``metrics`` is flat and numeric — the comparable measurements.
+``budgets`` are absolute lower-is-better caps checked on every run;
+``regression_metrics`` name the metrics additionally compared against
+the recorded baseline (the mean of the last N prior entries for the
+same benchmark); ``info`` holds everything non-comparable.
+
+:func:`append_history` appends artifacts to the append-only
+``results/bench_history.jsonl`` store, :func:`check_entries` evaluates
+budgets + regressions, and the ``repro bench run|check|report`` CLI
+(:mod:`repro.cli`) ties it together into a CI perf gate.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+#: Bumped when the artifact envelope changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default location of the append-only history store, relative to the
+#: repository root.
+HISTORY_PATH = os.path.join("results", "bench_history.jsonl")
+
+#: Regressions beyond this fraction of the baseline fail ``check``.
+DEFAULT_TOLERANCE = 0.15
+
+#: How many prior entries form the regression baseline.
+DEFAULT_BASELINE_N = 5
+
+#: The observatory benchmark files and the artifacts they write,
+#: keyed by benchmark name (``repro bench run`` executes these).
+OBSERVATORY = {
+    "trace_smoke": (
+        "benchmarks/test_trace_smoke.py", "BENCH_trace_smoke.json"
+    ),
+    "parallel_engine": (
+        "benchmarks/test_parallel_engine.py", "BENCH_parallel_engine.json"
+    ),
+    "hotpath": ("benchmarks/test_hotpath.py", "BENCH_hotpath.json"),
+    "lint_overhead": (
+        "benchmarks/test_lint_overhead.py", "BENCH_lint.json"
+    ),
+    "certify_overhead": (
+        "benchmarks/test_certify_overhead.py", "BENCH_certify.json"
+    ),
+}
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """Where a measurement was taken: platform, interpreter, cores."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cores": _usable_cores(),
+    }
+
+
+def _utc_now() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    )
+
+
+def make_artifact(
+    benchmark: str,
+    metrics: Dict[str, float],
+    budgets: Optional[Dict[str, float]] = None,
+    regression_metrics: Optional[Sequence[str]] = None,
+    info: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build one schema-versioned benchmark artifact.
+
+    ``metrics`` must be flat name→number; ``budgets`` caps a subset of
+    them (lower is better); ``regression_metrics`` names the subset
+    compared against history (lower is better); ``info`` is free-form
+    context.  Raises ``ValueError`` on non-numeric metrics or budgets /
+    regression metrics that name nothing in ``metrics``.
+    """
+    for name, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"metric {name!r} is not numeric: {value!r}"
+            )
+    budgets = dict(budgets or {})
+    regression = list(regression_metrics or [])
+    for name in list(budgets) + regression:
+        if name not in metrics:
+            raise ValueError(
+                f"{name!r} is budgeted/regression-tracked but missing "
+                f"from metrics"
+            )
+    return {
+        "benchmark": benchmark,
+        "schema_version": SCHEMA_VERSION,
+        "timestamp": _utc_now(),
+        "host": host_fingerprint(),
+        "metrics": dict(metrics),
+        "budgets": budgets,
+        "regression_metrics": regression,
+        "info": dict(info or {}),
+    }
+
+
+def write_artifact(artifact: Dict[str, object], path) -> None:
+    """Write one artifact as indented JSON (the ``BENCH_*.json`` file)."""
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+
+
+def read_artifact(path) -> Dict[str, object]:
+    """Read one artifact back, validating the envelope."""
+    with open(path) as handle:
+        artifact = json.load(handle)
+    if artifact.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench schema "
+            f"{artifact.get('schema_version')!r}"
+        )
+    if "benchmark" not in artifact or "metrics" not in artifact:
+        raise ValueError(f"{path}: not a bench artifact")
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# History store
+# ----------------------------------------------------------------------
+def append_history(
+    artifact: Dict[str, object], path: str = HISTORY_PATH,
+) -> None:
+    """Append one artifact to the JSONL history store (one line each)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(
+            json.dumps(artifact, separators=(",", ":"), sort_keys=True)
+            + "\n"
+        )
+
+
+def read_history(path: str = HISTORY_PATH) -> List[Dict[str, object]]:
+    """Every history entry in append order (missing file → empty)."""
+    entries: List[Dict[str, object]] = []
+    try:
+        handle = open(path)
+    except FileNotFoundError:
+        return entries
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if entry.get("schema_version") == SCHEMA_VERSION:
+                entries.append(entry)
+    return entries
+
+
+def by_benchmark(
+    entries: Sequence[Dict[str, object]],
+) -> Dict[str, List[Dict[str, object]]]:
+    """Group history entries by benchmark name, append order kept."""
+    grouped: Dict[str, List[Dict[str, object]]] = {}
+    for entry in entries:
+        grouped.setdefault(str(entry["benchmark"]), []).append(entry)
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Violation:
+    """One failed budget or regression comparison."""
+
+    benchmark: str
+    metric: str
+    kind: str  # "budget" | "regression"
+    value: float
+    limit: float
+
+    def __str__(self) -> str:
+        if self.kind == "budget":
+            return (
+                f"{self.benchmark}: {self.metric} = {self.value:g} "
+                f"exceeds budget {self.limit:g}"
+            )
+        return (
+            f"{self.benchmark}: {self.metric} = {self.value:g} "
+            f"regressed past baseline+tolerance {self.limit:g}"
+        )
+
+
+def check_entry(
+    latest: Dict[str, object],
+    previous: Sequence[Dict[str, object]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    baseline_n: int = DEFAULT_BASELINE_N,
+) -> List[Violation]:
+    """Violations of one benchmark's newest entry.
+
+    Budgets are absolute caps from the entry itself.  Each regression
+    metric is compared against the mean of that metric over the last
+    ``baseline_n`` prior entries; a value more than ``tolerance``
+    (fractional) above the mean is a regression.  With no prior history
+    only budgets apply — the first recorded run *is* the baseline.
+    """
+    name = str(latest["benchmark"])
+    metrics = dict(latest.get("metrics", {}))
+    violations: List[Violation] = []
+    for metric, cap in dict(latest.get("budgets", {})).items():
+        value = metrics.get(metric)
+        if value is not None and value > cap:
+            violations.append(
+                Violation(name, metric, "budget", float(value),
+                          float(cap))
+            )
+    window = list(previous)[-baseline_n:]
+    for metric in list(latest.get("regression_metrics", [])):
+        value = metrics.get(metric)
+        if value is None:
+            continue
+        baseline_values = [
+            entry["metrics"][metric] for entry in window
+            if metric in entry.get("metrics", {})
+        ]
+        if not baseline_values:
+            continue
+        baseline = sum(baseline_values) / len(baseline_values)
+        limit = baseline * (1.0 + tolerance)
+        if value > limit:
+            violations.append(
+                Violation(name, metric, "regression", float(value),
+                          limit)
+            )
+    return violations
+
+
+def check_entries(
+    entries: Sequence[Dict[str, object]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    baseline_n: int = DEFAULT_BASELINE_N,
+) -> List[Violation]:
+    """Check every benchmark's newest history entry; all violations."""
+    violations: List[Violation] = []
+    for name, runs in sorted(by_benchmark(entries).items()):
+        violations.extend(
+            check_entry(runs[-1], runs[:-1], tolerance, baseline_n)
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def _headline_metrics(runs: Sequence[Dict[str, object]]) -> List[str]:
+    """Which metrics to show for one benchmark: budgeted + regression-
+    tracked first, then whatever else fits."""
+    latest = runs[-1]
+    ordered: List[str] = []
+    for name in list(latest.get("budgets", {})):
+        if name not in ordered:
+            ordered.append(name)
+    for name in list(latest.get("regression_metrics", [])):
+        if name not in ordered:
+            ordered.append(name)
+    for name in sorted(latest.get("metrics", {})):
+        if name not in ordered and len(ordered) < 5:
+            ordered.append(name)
+    return ordered[:5]
+
+
+def format_history_table(
+    entries: Sequence[Dict[str, object]],
+) -> str:
+    """Per-benchmark history tables — the ``repro bench report`` body."""
+    grouped = by_benchmark(entries)
+    if not grouped:
+        return "(empty history)"
+    blocks: List[str] = []
+    for name, runs in sorted(grouped.items()):
+        metrics = _headline_metrics(runs)
+        header = f"  {'timestamp':<21}" + "".join(
+            f" {metric:>18}" for metric in metrics
+        )
+        lines = [f"{name} ({len(runs)} run(s)):", header,
+                 "  " + "-" * (len(header) - 2)]
+        for entry in runs:
+            cells = []
+            for metric in metrics:
+                value = entry.get("metrics", {}).get(metric)
+                cells.append(
+                    f" {value:>18.6g}" if value is not None
+                    else f" {'-':>18}"
+                )
+            lines.append(
+                f"  {str(entry.get('timestamp', '?')):<21}"
+                + "".join(cells)
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Running the observatory suite
+# ----------------------------------------------------------------------
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    suite_size: Optional[int] = None,
+    repo_root: str = ".",
+) -> int:
+    """Run the observatory benchmarks via pytest; returns its exit code.
+
+    ``names`` selects a subset of :data:`OBSERVATORY` (default: all
+    five); ``suite_size`` exports ``REPRO_SUITE_SIZE`` for the run (the
+    ``--smoke`` path uses the 100-loop floor).  The benchmarks
+    themselves write the ``BENCH_*.json`` artifacts; the caller
+    (``repro bench run``) appends them to the history afterwards.
+    """
+    import subprocess
+
+    selected = list(names) if names else sorted(OBSERVATORY)
+    unknown = [name for name in selected if name not in OBSERVATORY]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {unknown}; "
+            f"choose from {sorted(OBSERVATORY)}"
+        )
+    files = [OBSERVATORY[name][0] for name in selected]
+    env = dict(os.environ)
+    env.setdefault("PYTHONHASHSEED", "0")
+    if suite_size is not None:
+        env["REPRO_SUITE_SIZE"] = str(suite_size)
+    src = os.path.join(repo_root, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{existing}" if existing else src
+    )
+    command = [sys.executable, "-m", "pytest", "-q", *files]
+    completed = subprocess.run(command, cwd=repo_root, env=env)
+    return completed.returncode
+
+
+def collect_artifacts(
+    names: Optional[Sequence[str]] = None, repo_root: str = ".",
+) -> List[Dict[str, object]]:
+    """Read the selected benchmarks' freshly written artifacts."""
+    selected = list(names) if names else sorted(OBSERVATORY)
+    artifacts = []
+    for name in selected:
+        _, artifact_file = OBSERVATORY[name]
+        artifacts.append(
+            read_artifact(os.path.join(repo_root, artifact_file))
+        )
+    return artifacts

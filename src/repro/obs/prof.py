@@ -1,0 +1,281 @@
+"""Deterministic span-attributed profiler on top of :mod:`repro.obs`.
+
+Spans answer *when* and *how long*; the profiler answers *where the CPU
+went*.  :func:`profiling` attaches a :class:`Profiler` to an installed
+:class:`~repro.obs.trace.Trace` and turns on a ``sys.setprofile``
+callback (the deterministic stdlib hook that also powers ``cProfile``)
+for the duration of the block::
+
+    with obs.tracing() as trace, prof.profiling(trace):
+        compile_loop(ddg, machine)
+    print(prof.format_profile_report(trace))
+
+While attached, every span additionally records
+
+* ``SpanNode.cpu`` — thread-CPU seconds spent while the span was open
+  (inclusive of children, mirroring ``duration``), giving the per-phase
+  CPU-vs-wall breakdown of :func:`repro.obs.sinks.metrics_dict` and the
+  phase table; and
+* ``SpanNode.prof`` — per-function *self* CPU time and call counts,
+  attributed to the span that was innermost when the function returned.
+
+Functions that return outside every span land on ``Trace.prof``.
+:func:`top_functions` aggregates either view into the classic
+top-functions table.
+
+The profiler is **off by default and pays nothing when off**: the only
+hook is an attribute test on the owning trace's span open/close path,
+which itself only runs when tracing is enabled.  Untraced code paths
+are completely untouched.  Profiled runs pay the usual deterministic-
+profiler tax (every Python and C call crosses the callback), which the
+trace-smoke benchmark records as the profiled-mode measurement.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .trace import SpanNode, Trace, current_trace
+
+#: Sort orders accepted by :func:`top_functions`.
+SORT_KEYS = ("cpu", "calls", "name")
+
+
+def _func_key(frame) -> str:
+    """Stable display key of a Python frame's function."""
+    code = frame.f_code
+    filename = code.co_filename.replace("\\", "/")
+    parts = filename.rsplit("/", 2)
+    short = "/".join(parts[-2:]) if len(parts) > 1 else filename
+    return f"{short}:{code.co_firstlineno}:{code.co_name}"
+
+
+def _builtin_key(func) -> str:
+    """Display key of a C-implemented callable."""
+    module = getattr(func, "__module__", None) or "builtins"
+    name = getattr(func, "__qualname__", None) \
+        or getattr(func, "__name__", repr(func))
+    return f"~:{module}.{name}"
+
+
+class Profiler:
+    """The ``sys.setprofile`` recorder behind :func:`profiling`.
+
+    Maintains a shadow call stack of ``[key, entered_cpu, child_cpu]``
+    frames; on each return the function's *self* CPU (total minus
+    children) and one call are folded into the innermost open span's
+    ``prof`` table.  Span CPU windows are tracked through the
+    ``span_opened`` / ``span_closed`` hooks the owning trace calls.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._clock = time.thread_time
+        self._frames: List[List[object]] = []
+        self._span_cpu: Dict[int, float] = {}
+        self._installed = False
+
+    # -- trace hooks ---------------------------------------------------
+    def span_opened(self, node: SpanNode) -> None:
+        """Called by the owning trace when a span opens."""
+        self._span_cpu[id(node)] = self._clock()
+
+    def span_closed(self, node: SpanNode) -> None:
+        """Called by the owning trace when a span closes."""
+        entered = self._span_cpu.pop(id(node), None)
+        if entered is not None:
+            node.cpu = self._clock() - entered
+
+    # -- the sys.setprofile callback -----------------------------------
+    def _hook(self, frame, event: str, arg) -> None:
+        if event == "call":
+            self._frames.append([_func_key(frame), self._clock(), 0.0])
+        elif event == "return":
+            self._pop()
+        elif event == "c_call":
+            self._frames.append([_builtin_key(arg), self._clock(), 0.0])
+        elif event in ("c_return", "c_exception"):
+            self._pop()
+
+    def _pop(self) -> None:
+        if not self._frames:
+            return
+        key, entered, child_cpu = self._frames.pop()
+        total = self._clock() - entered
+        if self._frames:
+            self._frames[-1][2] += total
+        self_cpu = total - child_cpu
+        if self_cpu < 0.0:
+            self_cpu = 0.0
+        stack = self.trace._stack
+        if stack:
+            node = stack[-1]
+            table = node.prof
+            if table is None:
+                table = node.prof = {}
+        else:
+            table = self.trace.prof
+        cell = table.get(key)
+        if cell is None:
+            table[key] = [1, self_cpu]
+        else:
+            cell[0] += 1
+            cell[1] += self_cpu
+
+    # -- installation --------------------------------------------------
+    def install(self) -> None:
+        """Attach to the trace and start the profile callback."""
+        if self._installed:
+            raise RuntimeError("profiler already installed")
+        if self.trace._prof is not None:
+            raise RuntimeError("trace already has a profiler attached")
+        self.trace._prof = self
+        # Open spans entered before the profiler attached still get a
+        # CPU window from this point on.
+        now = self._clock()
+        for node in self.trace._stack:
+            self._span_cpu[id(node)] = now
+        self._installed = True
+        sys.setprofile(self._hook)
+
+    def uninstall(self) -> None:
+        """Stop the callback and detach from the trace."""
+        if not self._installed:
+            return
+        sys.setprofile(None)
+        self._installed = False
+        # Close CPU windows of spans still open at detach time.
+        now = self._clock()
+        for node in self.trace._stack:
+            entered = self._span_cpu.pop(id(node), None)
+            if entered is not None:
+                node.cpu = now - entered
+        self.trace._prof = None
+        self._frames.clear()
+        self._span_cpu.clear()
+
+
+@contextmanager
+def profiling(trace: Optional[Trace] = None) -> Iterator[Profiler]:
+    """Profile the calling thread for the duration of the block.
+
+    ``trace`` defaults to the trace currently installed on the thread;
+    profiling without a trace is an error — the profiler's output lives
+    on span nodes.
+    """
+    if trace is None:
+        trace = current_trace()
+    if trace is None:
+        raise RuntimeError(
+            "profiling requires an installed trace; "
+            "wrap the block in obs.tracing() first"
+        )
+    profiler = Profiler(trace)
+    profiler.install()
+    try:
+        yield profiler
+    finally:
+        profiler.uninstall()
+
+
+def top_functions(
+    trace: Trace, n: int = 20, sort: str = "cpu",
+) -> List[Tuple[str, int, float]]:
+    """The hottest functions of a profiled trace.
+
+    Aggregates every span's ``prof`` table (plus ``Trace.prof``) into
+    ``(func_key, calls, self_cpu_seconds)`` rows, sorted by ``sort`` —
+    ``cpu`` (default), ``calls``, or ``name`` — and truncated to ``n``
+    rows (``n <= 0`` keeps everything).
+    """
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    totals: Dict[str, List[float]] = {}
+    tables = [trace.prof]
+    tables.extend(
+        node.prof for node in trace.walk() if node.prof is not None
+    )
+    for table in tables:
+        for key, (calls, cpu) in table.items():
+            cell = totals.get(key)
+            if cell is None:
+                totals[key] = [calls, cpu]
+            else:
+                cell[0] += calls
+                cell[1] += cpu
+    rows = [
+        (key, int(calls), cpu) for key, (calls, cpu) in totals.items()
+    ]
+    if sort == "cpu":
+        rows.sort(key=lambda row: (-row[2], row[0]))
+    elif sort == "calls":
+        rows.sort(key=lambda row: (-row[1], row[0]))
+    else:
+        rows.sort(key=lambda row: row[0])
+    return rows[:n] if n > 0 else rows
+
+
+def _format_cpu(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def format_top_functions(
+    trace: Trace, n: int = 20, sort: str = "cpu",
+) -> str:
+    """The top-functions table, one aligned row per function."""
+    rows = top_functions(trace, n=n, sort=sort)
+    if not rows:
+        return "(no profile data)"
+    width = max(len("function"), max(len(key) for key, _, _ in rows))
+    lines = [
+        f"  {'function':<{width}} {'calls':>9} {'self cpu':>10}",
+        "  " + "-" * (width + 21),
+    ]
+    for key, calls, cpu in rows:
+        lines.append(
+            f"  {key:<{width}} {calls:>9} {_format_cpu(cpu):>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_cpu_phase_table(trace: Trace) -> str:
+    """Per-phase wall vs CPU breakdown of a profiled trace."""
+    phases = trace.phases()
+    profiled = {
+        name: stats for name, stats in phases.items() if stats.cpu_count
+    }
+    if not profiled:
+        return "(no profiled phases)"
+    header = (f"  {'phase':<14} {'count':>7} {'wall':>10} {'cpu':>10} "
+              f"{'cpu/wall':>9}")
+    lines = [header, "  " + "-" * (len(header) - 2)]
+    for name in sorted(profiled, key=lambda n: -profiled[n].cpu_total):
+        stats = profiled[name]
+        ratio = stats.cpu_total / stats.total if stats.total else 0.0
+        lines.append(
+            f"  {name:<14} {stats.count:>7} "
+            f"{_format_cpu(stats.total):>10} "
+            f"{_format_cpu(stats.cpu_total):>10} "
+            f"{ratio:>8.0%}"
+        )
+    return "\n".join(lines)
+
+
+def format_profile_report(
+    trace: Trace, n: int = 20, sort: str = "cpu",
+) -> str:
+    """CPU phase table + top functions — the ``repro profile`` output."""
+    return "\n".join([
+        "cpu by phase:",
+        format_cpu_phase_table(trace),
+        "",
+        f"top functions (by {sort}):",
+        format_top_functions(trace, n=n, sort=sort),
+    ])

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
@@ -31,7 +32,7 @@ class SpanNode:
     """One finished (or still-open) span in the trace tree."""
 
     __slots__ = ("name", "attrs", "started", "duration", "counters",
-                 "children")
+                 "children", "cpu", "prof")
 
     def __init__(self, name: str, attrs: Dict[str, object],
                  started: float) -> None:
@@ -45,6 +46,14 @@ class SpanNode:
         #: Counters incremented while this span was innermost.
         self.counters: Dict[str, int] = {}
         self.children: List["SpanNode"] = []
+        #: CPU seconds spent while this span was open (inclusive of
+        #: children, mirroring ``duration``); None unless a profiler
+        #: from :mod:`repro.obs.prof` observed the span.
+        self.cpu: Optional[float] = None
+        #: Per-function self-CPU attribution while this span was
+        #: innermost: ``{func_key: [calls, cpu_seconds]}``; None unless
+        #: profiled.
+        self.prof: Optional[Dict[str, List[float]]] = None
 
     def walk(self) -> Iterator["SpanNode"]:
         """This node and every descendant, depth-first."""
@@ -68,7 +77,8 @@ class SpanNode:
 class PhaseStats:
     """Wall-time distribution of every span sharing one name."""
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "samples", "cpu_total", "cpu_count")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -79,9 +89,17 @@ class PhaseStats:
         #: Log2 histogram: bucket ``b`` counts durations in
         #: ``[2**(b-1), 2**b)`` microseconds (bucket 0 is "< 1 us").
         self.buckets: Dict[int, int] = {}
+        #: Every folded duration, in arrival order — the percentile
+        #: source.  Bounded by the span count, not hot-loop activity.
+        self.samples: List[float] = []
+        #: CPU seconds summed over profiled spans (see
+        #: :mod:`repro.obs.prof`); 0.0 when nothing was profiled.
+        self.cpu_total = 0.0
+        #: How many folded spans carried a CPU measurement.
+        self.cpu_count = 0
 
-    def add(self, duration: float) -> None:
-        """Fold one span's wall time into the distribution."""
+    def add(self, duration: float, cpu: Optional[float] = None) -> None:
+        """Fold one span's wall time (and optional CPU time) in."""
         self.count += 1
         self.total += duration
         if duration < self.min:
@@ -90,11 +108,53 @@ class PhaseStats:
             self.max = duration
         bucket = int(duration * 1e6).bit_length()
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.samples.append(duration)
+        if cpu is not None:
+            self.cpu_total += cpu
+            self.cpu_count += 1
 
     @property
     def mean(self) -> float:
         """Average span duration in seconds."""
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Smallest duration, safe to render: 0.0 when empty.
+
+        The raw ``min`` attribute stays ``inf`` for an empty
+        distribution (the natural fold identity); every renderer and
+        sink goes through this guard instead.
+        """
+        return self.min if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0-100) with linear interpolation."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        """Median span duration in seconds."""
+        return self.percentile(50.0)
+
+    @property
+    def p90(self) -> float:
+        """90th-percentile span duration in seconds."""
+        return self.percentile(90.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile span duration in seconds."""
+        return self.percentile(99.0)
 
     @staticmethod
     def bucket_label(bucket: int) -> str:
@@ -157,12 +217,27 @@ class Trace:
 
     def __init__(self) -> None:
         self.epoch = time.perf_counter()
+        #: Wall-clock instant of ``epoch`` (``time.time()``), shared
+        #: across processes on one host — the correlation anchor that
+        #: lets :meth:`graft` rebase a worker trace's span offsets into
+        #: this trace's clock.  None on traces rebuilt from event logs
+        #: that carried no header.
+        self.epoch_wall: Optional[float] = time.time()
+        #: Random identity, stamped on the JSONL header so logs from
+        #: different processes of one run can be told apart and
+        #: re-correlated offline.
+        self.trace_id: str = uuid.uuid4().hex[:16]
         #: Top-level spans, in start order.
         self.roots: List[SpanNode] = []
         #: Trace-wide counter aggregate (sum over all spans plus any
         #: counts recorded outside every span).
         self.counters: Dict[str, int] = {}
+        #: Per-function self-CPU recorded outside any span while a
+        #: profiler was attached (see :mod:`repro.obs.prof`).
+        self.prof: Dict[str, List[float]] = {}
         self._stack: List[SpanNode] = []
+        #: The attached :class:`repro.obs.prof.Profiler`, or None.
+        self._prof = None
 
     # -- recording -----------------------------------------------------
     def span(self, name: str, attrs: Optional[Dict[str, object]] = None
@@ -175,10 +250,14 @@ class Trace:
         else:
             self.roots.append(node)
         self._stack.append(node)
+        if self._prof is not None:
+            self._prof.span_opened(node)
         return _LiveSpan(self, node)
 
     def _close(self, node: SpanNode) -> None:
         node.duration = time.perf_counter() - self.epoch - node.started
+        if self._prof is not None:
+            self._prof.span_closed(node)
         # Pop through any spans left open by exceptions below this one.
         while self._stack:
             popped = self._stack.pop()
@@ -201,11 +280,42 @@ class Trace:
         span (named ``name``, carrying ``attrs``) attached under this
         trace's innermost open span, and its trace-wide counters fold
         into this trace's aggregate.  Returns the synthetic host span.
+
+        When both traces carry wall-clock epochs, every grafted span's
+        ``started`` offset is rebased from the other trace's clock into
+        this one's, so the merged tree is one coherent timeline: a span
+        that ran 3ms into the worker's life shows up at
+        ``(worker_birth - parent_birth) + 3ms``.  Without epochs (an old
+        event log), the worker window is placed at the graft instant.
+        The host span covers the worker trace's real elapsed window —
+        ``max(end) - min(start)`` — not the sum of root durations, which
+        double-counts nothing but also never exceeds wall time when
+        roots overlap.
         """
-        host = SpanNode(name, dict(attrs),
-                        time.perf_counter() - self.epoch)
-        host.children = list(other.roots)
-        host.duration = sum(root.duration for root in other.roots)
+        now = time.perf_counter() - self.epoch
+        roots = list(other.roots)
+        if other.epoch_wall is not None and self.epoch_wall is not None:
+            offset = other.epoch_wall - self.epoch_wall
+        elif roots:
+            # Unknown worker epoch: pin the window's start to the graft
+            # instant so relative timing within the worker survives.
+            offset = now - min(root.started for root in roots)
+        else:
+            offset = 0.0
+        if offset:
+            pending = list(roots)
+            while pending:
+                node = pending.pop()
+                node.started += offset
+                pending.extend(node.children)
+        if roots:
+            started = min(root.started for root in roots)
+            ended = max(root.started + root.duration for root in roots)
+        else:
+            started, ended = now, now
+        host = SpanNode(name, dict(attrs), started)
+        host.children = roots
+        host.duration = ended - started
         if self._stack:
             self._stack[-1].children.append(host)
         else:
@@ -236,7 +346,7 @@ class Trace:
             phase = stats.get(node.name)
             if phase is None:
                 phase = stats[node.name] = PhaseStats(node.name)
-            phase.add(node.duration)
+            phase.add(node.duration, node.cpu)
         return stats
 
 

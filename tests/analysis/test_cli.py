@@ -222,6 +222,178 @@ class TestParser:
             main([])
 
 
+class TestProfileCommand:
+    def test_profile_prints_cpu_report(self, loop_file, capsys):
+        assert main(["profile", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "II = " in out
+        assert "cpu by phase:" in out
+        assert "cpu/wall" in out
+        assert "top functions (by cpu):" in out
+
+    def test_profile_sort_and_top(self, loop_file, capsys):
+        assert main(
+            ["profile", loop_file, "--sort", "calls", "--top", "5"]
+        ) == 0
+        assert "top functions (by calls):" in capsys.readouterr().out
+
+    def test_profile_tree(self, loop_file, capsys):
+        assert main(["profile", loop_file, "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "(cpu " in out
+
+    def test_profile_out_writes_profiled_jsonl(self, loop_file,
+                                               tmp_path, capsys):
+        from repro import obs
+
+        path = tmp_path / "profiled.jsonl"
+        assert main(["profile", loop_file, "--out", str(path)]) == 0
+        rebuilt = obs.read_trace(str(path))
+        profiled = [
+            node for node in rebuilt.walk() if node.cpu is not None
+        ]
+        assert profiled, "no span carried a CPU measurement"
+
+    def test_profile_cprofile_dump(self, loop_file, tmp_path, capsys):
+        import pstats
+
+        path = tmp_path / "compile.pstats"
+        assert main(
+            ["profile", loop_file, "--cprofile", str(path)]
+        ) == 0
+        assert pstats.Stats(str(path)).total_calls > 0
+
+
+class TestBenchCommand:
+    @pytest.fixture
+    def history(self, tmp_path):
+        from repro.obs import bench
+
+        path = str(tmp_path / "history.jsonl")
+        for value in (1.0, 1.02, 0.98):
+            bench.append_history(
+                bench.make_artifact(
+                    "trace_smoke",
+                    metrics={"untraced_s": value},
+                    regression_metrics=["untraced_s"],
+                ),
+                path,
+            )
+        return path
+
+    def test_report_renders_history(self, history, capsys):
+        assert main(["bench", "report", "--history", history]) == 0
+        out = capsys.readouterr().out
+        assert "trace_smoke (3 run(s))" in out
+        assert "untraced_s" in out
+
+    def test_check_passes_clean_history(self, history, capsys):
+        assert main(["bench", "check", "--history", history]) == 0
+        assert "within budgets" in capsys.readouterr().out
+
+    def test_check_catches_injected_regression(self, history, capsys):
+        from repro.obs import bench
+
+        bench.append_history(
+            bench.make_artifact(
+                "trace_smoke",
+                metrics={"untraced_s": 1.20},  # +20% vs ~1.0 baseline
+                regression_metrics=["untraced_s"],
+            ),
+            history,
+        )
+        assert main(["bench", "check", "--history", history]) == 1
+        out = capsys.readouterr().out
+        assert "perf violation" in out
+        assert "untraced_s" in out
+
+    def test_check_exit_zero_reports_without_failing(self, history,
+                                                     capsys):
+        from repro.obs import bench
+
+        bench.append_history(
+            bench.make_artifact(
+                "trace_smoke",
+                metrics={"untraced_s": 9.0},
+                regression_metrics=["untraced_s"],
+            ),
+            history,
+        )
+        assert main(
+            ["bench", "check", "--history", history, "--exit-zero"]
+        ) == 0
+        assert "perf violation" in capsys.readouterr().out
+
+    def test_check_empty_history_fails(self, tmp_path, capsys):
+        missing = str(tmp_path / "none.jsonl")
+        assert main(["bench", "check", "--history", missing]) == 1
+        assert main(
+            ["bench", "check", "--history", missing, "--exit-zero"]
+        ) == 0
+
+    def test_check_custom_tolerance(self, history, capsys):
+        from repro.obs import bench
+
+        bench.append_history(
+            bench.make_artifact(
+                "trace_smoke",
+                metrics={"untraced_s": 1.20},
+                regression_metrics=["untraced_s"],
+            ),
+            history,
+        )
+        assert main(
+            ["bench", "check", "--history", history,
+             "--tolerance", "0.5"]
+        ) == 0
+
+    def test_run_rejects_unknown_benchmark(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["bench", "run", "warp9",
+                  "--history", str(tmp_path / "h.jsonl")])
+
+
+class TestChromeTraceFlag:
+    def test_compile_trace_chrome_writes_envelope(self, loop_file,
+                                                  tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.chrome.json"
+        assert main(
+            ["compile", loop_file, "--trace-chrome", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert phases <= {"X", "C", "M"}
+        assert "trace_id" in doc["otherData"]
+
+    def test_parallel_experiment_chrome_has_worker_lanes(self, tmp_path,
+                                                         capsys):
+        import json
+
+        path = tmp_path / "experiment.chrome.json"
+        assert main(
+            ["experiment", "--loops", "8", "--workers", "2",
+             "--trace-chrome", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        x_tids = {
+            event["tid"] for event in doc["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert x_tids - {0}, "no worker lanes in the chrome trace"
+
+    def test_trace_flag_prints_lane_table_for_workers(self, capsys):
+        assert main(
+            ["experiment", "--loops", "8", "--workers", "2", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worker lanes:" in out
+        assert "q-wait" in out
+
+
 class TestEmitAndSimulate:
     def test_emit_prints_pipelined_code(self, loop_file, capsys):
         assert main(["compile", loop_file, "--emit"]) == 0

@@ -1,0 +1,173 @@
+"""The benchmark observatory: schema, history store, regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+def _artifact(name="trace_smoke", value=1.0, **overrides):
+    metrics = {"elapsed_s": value, "overhead_fraction": 0.05}
+    metrics.update(overrides.pop("metrics", {}))
+    return bench.make_artifact(
+        name,
+        metrics=metrics,
+        budgets=overrides.pop("budgets", {"overhead_fraction": 0.10}),
+        regression_metrics=overrides.pop(
+            "regression_metrics", ["elapsed_s"]
+        ),
+        info=overrides.pop("info", {"loops": 20}),
+    )
+
+
+class TestSchema:
+    def test_envelope_fields(self):
+        artifact = _artifact()
+        assert artifact["benchmark"] == "trace_smoke"
+        assert artifact["schema_version"] == bench.SCHEMA_VERSION
+        assert artifact["timestamp"].endswith("Z")
+        assert set(artifact["host"]) == {"platform", "python", "cores"}
+        assert artifact["metrics"]["elapsed_s"] == 1.0
+        assert artifact["budgets"] == {"overhead_fraction": 0.10}
+        assert artifact["regression_metrics"] == ["elapsed_s"]
+        assert artifact["info"] == {"loops": 20}
+
+    def test_non_numeric_metric_rejected(self):
+        with pytest.raises(ValueError):
+            bench.make_artifact("x", metrics={"name": "fast"})
+        with pytest.raises(ValueError):
+            bench.make_artifact("x", metrics={"ok": True})
+
+    def test_budget_must_name_a_metric(self):
+        with pytest.raises(ValueError):
+            bench.make_artifact(
+                "x", metrics={"a": 1.0}, budgets={"b": 2.0}
+            )
+        with pytest.raises(ValueError):
+            bench.make_artifact(
+                "x", metrics={"a": 1.0}, regression_metrics=["b"]
+            )
+
+    def test_write_read_round_trip(self, tmp_path):
+        artifact = _artifact()
+        path = tmp_path / "BENCH_x.json"
+        bench.write_artifact(artifact, str(path))
+        assert bench.read_artifact(str(path)) == artifact
+
+    def test_read_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(ValueError):
+            bench.read_artifact(str(path))
+
+    def test_observatory_covers_all_five(self):
+        assert sorted(bench.OBSERVATORY) == [
+            "certify_overhead", "hotpath", "lint_overhead",
+            "parallel_engine", "trace_smoke",
+        ]
+
+
+class TestHistory:
+    def test_append_and_read(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        bench.append_history(_artifact(value=1.0), path)
+        bench.append_history(_artifact(value=2.0), path)
+        entries = bench.read_history(path)
+        assert [e["metrics"]["elapsed_s"] for e in entries] == [1.0, 2.0]
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert bench.read_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "results" / "history.jsonl")
+        bench.append_history(_artifact(), path)
+        assert len(bench.read_history(path)) == 1
+
+    def test_by_benchmark_groups_in_order(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        bench.append_history(_artifact("a", 1.0), path)
+        bench.append_history(_artifact("b", 9.0), path)
+        bench.append_history(_artifact("a", 2.0), path)
+        grouped = bench.by_benchmark(bench.read_history(path))
+        assert [e["metrics"]["elapsed_s"] for e in grouped["a"]] == \
+            [1.0, 2.0]
+        assert len(grouped["b"]) == 1
+
+
+class TestRegressionGate:
+    def test_injected_20_percent_regression_is_caught(self):
+        history = [_artifact(value=1.0) for _ in range(3)]
+        latest = _artifact(value=1.20)  # 20% > 15% tolerance
+        violations = bench.check_entry(latest, history)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.kind == "regression"
+        assert violation.metric == "elapsed_s"
+        assert "regressed" in str(violation)
+
+    def test_within_tolerance_passes(self):
+        history = [_artifact(value=1.0) for _ in range(3)]
+        assert bench.check_entry(_artifact(value=1.10), history) == []
+
+    def test_budget_violation(self):
+        over = _artifact(metrics={"overhead_fraction": 0.25})
+        violations = bench.check_entry(over, [])
+        assert [v.kind for v in violations] == ["budget"]
+        assert "exceeds budget" in str(violations[0])
+
+    def test_first_run_is_its_own_baseline(self):
+        assert bench.check_entry(_artifact(value=99.0), []) == []
+
+    def test_baseline_window_is_last_n(self):
+        # Ancient slow runs outside the window must not mask a
+        # regression against the recent baseline.
+        old = [_artifact(value=10.0) for _ in range(3)]
+        recent = [_artifact(value=1.0) for _ in range(5)]
+        violations = bench.check_entry(
+            _artifact(value=1.5), old + recent, baseline_n=5
+        )
+        assert len(violations) == 1
+
+    def test_check_entries_checks_newest_per_benchmark(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        for value in (1.0, 1.0, 1.0, 1.3):
+            bench.append_history(_artifact("a", value), path)
+        bench.append_history(_artifact("b", 5.0), path)
+        violations = bench.check_entries(bench.read_history(path))
+        assert [v.benchmark for v in violations] == ["a"]
+
+    def test_custom_tolerance(self):
+        history = [_artifact(value=1.0)]
+        assert bench.check_entry(
+            _artifact(value=1.3), history, tolerance=0.5
+        ) == []
+        assert bench.check_entry(
+            _artifact(value=1.3), history, tolerance=0.1
+        ) != []
+
+
+class TestReport:
+    def test_empty_history(self):
+        assert bench.format_history_table([]) == "(empty history)"
+
+    def test_table_shows_benchmarks_and_metrics(self):
+        entries = [
+            _artifact("trace_smoke", 1.0),
+            _artifact("trace_smoke", 1.1),
+            _artifact("hotpath", 3.0),
+        ]
+        table = bench.format_history_table(entries)
+        assert "trace_smoke (2 run(s))" in table
+        assert "hotpath (1 run(s))" in table
+        # Budgeted + regression-tracked metrics lead each block.
+        assert "overhead_fraction" in table
+        assert "elapsed_s" in table
+
+    def test_missing_metric_renders_dash(self):
+        entries = [
+            _artifact("a", 1.0),
+            bench.make_artifact("a", metrics={"other": 2.0}),
+        ]
+        table = bench.format_history_table(entries)
+        assert "-" in table

@@ -1,0 +1,170 @@
+"""Cross-process grafting: clock rebasing, lanes, JSONL round-trips."""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.obs.timeline import Lane, format_lane_table, lanes, utilization
+
+
+def _worker_trace(epoch_delta, work_s=0.010, counters=None):
+    """A synthetic finished worker trace born ``epoch_delta`` seconds
+    after some reference wall instant."""
+    trace = obs.Trace()
+    trace.epoch_wall = 1000.0 + epoch_delta
+    root = obs.SpanNode("chunk", {"n": 3}, 0.002)
+    root.duration = work_s
+    child = obs.SpanNode("loop", {"i": 0}, 0.003)
+    child.duration = work_s / 2
+    root.children.append(child)
+    trace.roots.append(root)
+    for name, value in (counters or {}).items():
+        root.counters[name] = value
+        trace.counters[name] = value
+    return trace
+
+
+class TestGraftRebasing:
+    def test_epoch_offsets_rebase_worker_spans(self):
+        parent = obs.Trace()
+        parent.epoch_wall = 1000.0
+        worker = _worker_trace(epoch_delta=0.5)
+        host = parent.graft(worker, lane=0)
+        # Worker span at offset 0.002 in a process born 0.5s after the
+        # parent lands at 0.502 on the parent's clock.
+        assert host.started == pytest.approx(0.502)
+        assert host.children[0].started == pytest.approx(0.502)
+        assert host.children[0].children[0].started == pytest.approx(0.503)
+
+    def test_host_duration_is_window_not_sum(self):
+        parent = obs.Trace()
+        parent.epoch_wall = 1000.0
+        worker = obs.Trace()
+        worker.epoch_wall = 1000.0
+        # Two overlapping roots: [0.0, 1.0] and [0.1, 0.9].
+        first = obs.SpanNode("chunk", {}, 0.0)
+        first.duration = 1.0
+        second = obs.SpanNode("chunk", {}, 0.1)
+        second.duration = 0.8
+        worker.roots = [first, second]
+        host = parent.graft(worker)
+        assert host.duration == pytest.approx(1.0)  # not 1.8
+        assert host.started == pytest.approx(0.0)
+
+    def test_unknown_epoch_pins_window_to_graft_instant(self):
+        parent = obs.Trace()
+        worker = _worker_trace(epoch_delta=0.0)
+        worker.epoch_wall = None  # e.g. rebuilt from a headerless log
+        host = parent.graft(worker)
+        # Window starts "now" on the parent clock: shortly after the
+        # parent's own birth, and relative timing inside survives.
+        assert host.started >= 0.0
+        assert host.children[0].children[0].started == pytest.approx(
+            host.started + 0.001
+        )
+
+    def test_counters_fold_into_parent(self):
+        parent = obs.Trace()
+        parent.counters["x"] = 1
+        worker = _worker_trace(0.0, counters={"x": 2, "y": 5})
+        parent.graft(worker)
+        assert parent.counter("x") == 3
+        assert parent.counter("y") == 5
+
+    def test_empty_worker_grafts_cleanly(self):
+        parent = obs.Trace()
+        host = parent.graft(obs.Trace(), lane=1)
+        assert host.duration == 0.0
+        assert host.children == []
+
+
+class TestMultiWorkerRoundTrip:
+    """Grafted multi-worker traces survive the JSONL round-trip."""
+
+    @pytest.fixture
+    def merged(self):
+        parent = obs.Trace()
+        parent.epoch_wall = 2000.0
+        with obs.tracing(parent):
+            with obs.span("experiment"):
+                for lane in range(3):
+                    worker = _worker_trace(
+                        epoch_delta=0.1 * lane,
+                        counters={"sched.placements": 10 + lane},
+                    )
+                    worker.epoch_wall = 2000.0 + 0.1 * lane
+                    parent.graft(
+                        worker, lane=lane, pid=4000 + lane,
+                        queue_wait_s=0.01 * lane,
+                    )
+        return parent
+
+    def _round_trip(self, trace):
+        buffer = io.StringIO()
+        obs.write_jsonl(trace, buffer)
+        buffer.seek(0)
+        return obs.read_trace(buffer)
+
+    def test_lane_attrs_and_offsets_survive(self, merged):
+        rebuilt = self._round_trip(merged)
+        before = lanes(merged)
+        after = lanes(rebuilt)
+        assert [lane.lane for lane in after] == [0, 1, 2]
+        assert [lane.pid for lane in after] == [4000, 4001, 4002]
+        for old, new in zip(before, after):
+            assert new.spans[0].started == pytest.approx(
+                old.spans[0].started, abs=1e-8
+            )
+            assert new.queue_wait_seconds == pytest.approx(
+                old.queue_wait_seconds
+            )
+
+    def test_counters_survive(self, merged):
+        rebuilt = self._round_trip(merged)
+        assert rebuilt.counter("sched.placements") == 10 + 11 + 12
+
+    def test_identity_survives(self, merged):
+        rebuilt = self._round_trip(merged)
+        assert rebuilt.trace_id == merged.trace_id
+        assert rebuilt.epoch_wall == pytest.approx(2000.0)
+
+    def test_rebuilt_trace_regrafts(self, merged):
+        # An offline log can be grafted into a fresh analysis trace.
+        rebuilt = self._round_trip(merged)
+        analysis = obs.Trace()
+        host = analysis.graft(rebuilt, name="imported")
+        assert host.name == "imported"
+        assert len(lanes(analysis)) == 3
+
+
+class TestLanes:
+    def test_no_lanes_in_serial_trace(self):
+        with obs.tracing() as trace:
+            with obs.span("compile"):
+                pass
+        assert lanes(trace) == []
+        assert format_lane_table(trace) == "(no worker lanes)"
+
+    def test_lane_metrics(self):
+        lane = Lane(lane=0, pid=99)
+        first = obs.SpanNode("worker", {"queue_wait_s": 0.5}, 1.0)
+        first.duration = 1.0
+        second = obs.SpanNode("worker", {}, 3.0)
+        second.duration = 1.0
+        lane.spans = [first, second]
+        assert lane.busy_seconds == pytest.approx(2.0)
+        assert lane.queue_wait_seconds == pytest.approx(0.5)
+        assert lane.window == pytest.approx(3.0)  # 1.0 → 4.0
+        assert lane.utilization == pytest.approx(2.0 / 3.0)
+
+    def test_utilization_map_and_table(self):
+        parent = obs.Trace()
+        parent.epoch_wall = 0.0
+        worker = _worker_trace(0.0)
+        worker.epoch_wall = 0.0
+        parent.graft(worker, lane=2, pid=77)
+        assert set(utilization(parent)) == {2}
+        table = format_lane_table(parent)
+        assert "lane" in table
+        assert "77" in table

@@ -1,0 +1,90 @@
+"""PhaseStats percentiles and the empty-distribution min guard."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import PhaseStats
+
+
+def _stats(samples):
+    stats = PhaseStats("phase")
+    for value in samples:
+        stats.add(value)
+    return stats
+
+
+class TestPercentileMath:
+    def test_uniform_1_to_100(self):
+        stats = _stats(range(1, 101))
+        # Linear interpolation between closest ranks over n-1 intervals.
+        assert stats.p50 == pytest.approx(50.5)
+        assert stats.p90 == pytest.approx(90.1)
+        assert stats.p99 == pytest.approx(99.01)
+        assert stats.percentile(0) == 1
+        assert stats.percentile(100) == 100
+
+    def test_arrival_order_is_irrelevant(self):
+        shuffled = _stats([5, 1, 4, 2, 3])
+        ordered = _stats([1, 2, 3, 4, 5])
+        for q in (0, 25, 50, 75, 90, 100):
+            assert shuffled.percentile(q) == ordered.percentile(q)
+
+    def test_interpolates_between_ranks(self):
+        stats = _stats([10.0, 20.0])
+        assert stats.p50 == pytest.approx(15.0)
+        assert stats.percentile(25) == pytest.approx(12.5)
+
+    def test_single_sample(self):
+        stats = _stats([7.0])
+        assert stats.p50 == 7.0
+        assert stats.p90 == 7.0
+        assert stats.p99 == 7.0
+
+    def test_skewed_distribution(self):
+        # 99 fast spans and one straggler: p50/p90 stay at the floor,
+        # p99 picks up the tail.
+        stats = _stats([0.001] * 99 + [1.0])
+        assert stats.p50 == pytest.approx(0.001)
+        assert stats.p90 == pytest.approx(0.001)
+        assert stats.p99 > 0.01
+
+    def test_empty_distribution(self):
+        stats = PhaseStats("never")
+        assert stats.p50 == 0.0
+        assert stats.percentile(99) == 0.0
+
+
+class TestMinGuard:
+    def test_raw_min_is_inf_when_empty(self):
+        stats = PhaseStats("never")
+        assert stats.min == float("inf")
+        assert stats.minimum == 0.0
+        assert stats.mean == 0.0
+
+    def test_minimum_tracks_min_when_populated(self):
+        stats = _stats([3.0, 1.0, 2.0])
+        assert stats.minimum == 1.0
+        assert stats.min == 1.0
+
+
+class TestPercentilesSurfaced:
+    @pytest.fixture
+    def trace(self):
+        with obs.tracing() as trace:
+            for _ in range(10):
+                with obs.span("loop"):
+                    pass
+        return trace
+
+    def test_metrics_dict_carries_percentiles(self, trace):
+        phases = obs.metrics_dict(trace)["phases"]["loop"]
+        for key in ("p50_s", "p90_s", "p99_s"):
+            assert key in phases
+        assert phases["min_s"] <= phases["p50_s"] <= phases["p90_s"]
+        assert phases["p90_s"] <= phases["p99_s"] <= phases["max_s"]
+
+    def test_phase_table_has_percentile_columns(self, trace):
+        table = obs.format_phase_table(trace)
+        assert "p50" in table
+        assert "p90" in table
+        assert "p99" in table

@@ -1,0 +1,175 @@
+"""The deterministic profiler: CPU attribution, parity when off."""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.obs import prof
+
+
+def _spin(n=20_000):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestCpuAttribution:
+    def test_span_cpu_recorded(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                with obs.span("busy"):
+                    _spin()
+        node = trace.find("busy")[0]
+        assert node.cpu is not None
+        assert node.cpu > 0.0
+
+    def test_function_calls_and_self_cpu(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                with obs.span("busy"):
+                    for _ in range(5):
+                        _spin()
+        node = trace.find("busy")[0]
+        assert node.prof is not None
+        spins = {
+            key: cell for key, cell in node.prof.items()
+            if key.endswith(":_spin")
+        }
+        assert len(spins) == 1
+        (calls, cpu), = spins.values()
+        assert calls == 5
+        assert cpu > 0.0
+
+    def test_attribution_goes_to_innermost_span(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        _spin()
+        inner = trace.find("inner")[0]
+        outer = trace.find("outer")[0]
+        assert any(key.endswith(":_spin") for key in (inner.prof or {}))
+        assert not any(
+            key.endswith(":_spin") for key in (outer.prof or {})
+        )
+        # Inclusive CPU windows nest like durations.
+        assert outer.cpu >= inner.cpu
+
+    def test_returns_outside_spans_land_on_trace(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                _spin()
+        assert any(key.endswith(":_spin") for key in trace.prof)
+
+    def test_phase_stats_fold_cpu(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                for _ in range(3):
+                    with obs.span("busy"):
+                        _spin()
+        stats = trace.phases()["busy"]
+        assert stats.cpu_count == 3
+        assert stats.cpu_total > 0.0
+        assert "cpu_s" in obs.metrics_dict(trace)["phases"]["busy"]
+
+
+class TestDisabledParity:
+    def test_unprofiled_spans_have_no_cpu(self):
+        with obs.tracing() as trace:
+            with obs.span("busy"):
+                _spin()
+        node = trace.find("busy")[0]
+        assert node.cpu is None
+        assert node.prof is None
+        assert trace.prof == {}
+        assert "cpu_s" not in obs.metrics_dict(trace)["phases"]["busy"]
+
+    def test_profiler_detaches_cleanly(self):
+        import sys
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                pass
+            assert sys.getprofile() is None
+            assert trace._prof is None
+
+    def test_profiling_requires_a_trace(self):
+        with pytest.raises(RuntimeError):
+            with prof.profiling():
+                pass
+
+    def test_double_attach_rejected(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                with pytest.raises(RuntimeError):
+                    profiler = prof.Profiler(trace)
+                    profiler.install()
+
+
+class TestProfRoundTrip:
+    def test_cpu_and_prof_survive_jsonl(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                with obs.span("busy"):
+                    _spin()
+        buffer = io.StringIO()
+        obs.write_jsonl(trace, buffer)
+        buffer.seek(0)
+        rebuilt = obs.read_trace(buffer)
+        before = trace.find("busy")[0]
+        after = rebuilt.find("busy")[0]
+        assert after.cpu == pytest.approx(before.cpu, abs=1e-6)
+        assert set(after.prof) == set(before.prof)
+        for key, (calls, cpu) in before.prof.items():
+            assert after.prof[key][0] == calls
+            assert after.prof[key][1] == pytest.approx(cpu, abs=1e-6)
+
+
+class TestReports:
+    @pytest.fixture
+    def profiled(self):
+        with obs.tracing() as trace:
+            with prof.profiling(trace):
+                with obs.span("busy"):
+                    _spin()
+        return trace
+
+    def test_top_functions_sorting(self, profiled):
+        by_cpu = prof.top_functions(profiled, sort="cpu")
+        assert by_cpu
+        cpus = [cpu for _, _, cpu in by_cpu]
+        assert cpus == sorted(cpus, reverse=True)
+        by_calls = prof.top_functions(profiled, sort="calls")
+        calls = [count for _, count, _ in by_calls]
+        assert calls == sorted(calls, reverse=True)
+        by_name = prof.top_functions(profiled, sort="name")
+        names = [key for key, _, _ in by_name]
+        assert names == sorted(names)
+
+    def test_top_functions_truncates(self, profiled):
+        assert len(prof.top_functions(profiled, n=1)) == 1
+        everything = prof.top_functions(profiled, n=0)
+        assert len(everything) >= len(
+            prof.top_functions(profiled, n=2)
+        )
+
+    def test_bad_sort_rejected(self, profiled):
+        with pytest.raises(ValueError):
+            prof.top_functions(profiled, sort="vibes")
+
+    def test_report_sections(self, profiled):
+        report = prof.format_profile_report(profiled)
+        assert "cpu by phase:" in report
+        assert "top functions" in report
+        assert "busy" in report
+
+    def test_empty_trace_reports(self):
+        trace = obs.Trace()
+        assert prof.format_top_functions(trace) == "(no profile data)"
+        assert prof.format_cpu_phase_table(trace) == \
+            "(no profiled phases)"
+
+    def test_tree_renders_cpu(self, profiled):
+        tree = obs.format_trace_tree(profiled)
+        assert "cpu" in tree

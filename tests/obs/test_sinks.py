@@ -36,7 +36,12 @@ class TestJsonlRoundTrip:
         ]
         assert len(lines) == n_events + 1  # events + header
         parsed = [json.loads(line) for line in lines]
-        assert parsed[0] == {"ev": "trace", "version": 1}
+        assert parsed[0]["ev"] == "trace"
+        assert parsed[0]["version"] == 2
+        assert parsed[0]["trace_id"] == sample_trace.trace_id
+        assert parsed[0]["epoch_wall"] == pytest.approx(
+            sample_trace.epoch_wall, abs=1e-5
+        )
         assert all("ev" in event for event in parsed)
 
     def test_read_inverts_write(self, sample_trace, tmp_path):
