@@ -1,0 +1,217 @@
+"""Compile-service benchmark: warm pool + front door vs serial.
+
+The ISSUE-7 acceptance benchmark.  Drives the bench suite through the
+compile service three ways —
+
+* **serial reference** — direct ``compile_loop`` calls, the floor the
+  service must not lose to;
+* **warm 1-worker service, no cache** — every request really compiles,
+  so the measured gap over serial is pure serving overhead (IPC +
+  batching + admission).  The old cold ``ProcessPoolExecutor`` path
+  lost this comparison at 0.78x; the warm pool must stay within 0.95x
+  of serial;
+* **cached replay** — the same workload replayed over the sharded
+  result cache: hit rate and the p50/p99 reply latencies of a
+  fully-warm service.
+
+Replies are asserted bit-identical (ii/mii/copies) to the direct
+serial compiles, and everything lands in ``BENCH_service.json`` via
+the shared :mod:`repro.obs.bench` envelope.  The serial and service
+legs run as interleaved pass pairs and the gate uses the best paired
+ratio, so host load lands on both sides of a ratio instead of
+masquerading as serving overhead.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/test_service.py -q``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.core.driver import CompilationError, compile_loop
+from repro.machine import two_cluster_gp
+from repro.service import (
+    CompileRequest,
+    CompileService,
+    ServiceConfig,
+    WorkerPool,
+    replay,
+)
+from repro.workloads import paper_suite
+
+from conftest import bench_suite_size, print_report
+
+#: The service must stay within this fraction of serial at 1 worker.
+MIN_SPEEDUP_1W = 0.95
+ARTIFACT = (Path(__file__).resolve().parent.parent
+            / "BENCH_service.json")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+#: Timed legs are repeated and the fastest pass is kept: the suite
+#: compiles in well under a second, so a single pass on a busy CI host
+#: measures scheduler jitter, not serving overhead.
+PASSES = 3
+
+
+def _run_leg(pool, config, requests):
+    """Replay ``requests`` through one fresh service; (replies, stats,
+    wall seconds)."""
+
+    async def main():
+        async with CompileService(config, pool=pool) as service:
+            started = time.perf_counter()
+            replies = await replay(service, requests)
+            elapsed = time.perf_counter() - started
+            return replies, service.stats, elapsed
+
+    return asyncio.run(main())
+
+
+def _best_leg(pool, config, requests, passes=PASSES):
+    """Fastest of ``passes`` runs of :func:`_run_leg`."""
+    best = None
+    for _ in range(passes):
+        run = _run_leg(pool, config, requests)
+        if best is None or run[2] < best[2]:
+            best = run
+    return best
+
+
+def test_compile_service_vs_serial(tmp_path):
+    n_loops = max(100, bench_suite_size())
+    loops = paper_suite(n_loops)
+    machine = two_cluster_gp()
+    cores = _usable_cores()
+    requests = [CompileRequest(loop=ddg) for ddg in loops]
+
+    # -- warm pool startup (measured, excluded from the legs) ----------
+    started = time.perf_counter()
+    pool = WorkerPool(workers=1)
+    pool.warm_up()
+    warm_start_s = time.perf_counter() - started
+
+    # -- serial reference vs warm 1-worker service, no cache -----------
+    # The two timed legs alternate, one pair per pass, and the gating
+    # ratio is the best *paired* slowdown: pairing puts a load spike on
+    # a shared host onto both sides of the same ratio instead of
+    # silently skewing whichever leg it hit (the classic paired-
+    # measurement design).  Serial passes compile freshly built graphs
+    # — reusing one suite would let later passes ride the loops' cached
+    # DdgViews, an advantage the service's workers (which receive newly
+    # deserialized graphs) never get.
+    direct = {}
+    serial_s = float("inf")
+    nocache_slowdown = float("inf")
+    best_service = None
+    nocache_config = ServiceConfig(workers=1, batch_size=64)
+    for _ in range(PASSES):
+        fresh = paper_suite(n_loops)
+        started = time.perf_counter()
+        for ddg in fresh:
+            try:
+                compiled = compile_loop(ddg, machine)
+            except (CompilationError, ValueError):
+                direct[ddg.name] = None
+            else:
+                direct[ddg.name] = (
+                    compiled.ii, compiled.mii, compiled.copy_count
+                )
+        serial_pass_s = time.perf_counter() - started
+        serial_s = min(serial_s, serial_pass_s)
+        run = _run_leg(pool, nocache_config, requests)
+        if best_service is None or run[2] < best_service[2]:
+            best_service = run
+        nocache_slowdown = min(
+            nocache_slowdown, run[2] / serial_pass_s
+        )
+    replies, nocache_stats, service_nocache_s = best_service
+    for reply in replies:
+        expected = direct[reply.loop]
+        if expected is None:
+            assert reply.status == "failed", reply
+        else:
+            assert reply.status == "ok", reply
+            assert (reply.ii, reply.mii, reply.copies) == expected, (
+                f"{reply.loop}: service diverged from serial"
+            )
+    speedup_1w = 1.0 / nocache_slowdown
+    p50_ms = nocache_stats.latency_percentile(50) * 1e3
+    p99_ms = nocache_stats.latency_percentile(99) * 1e3
+
+    # -- leg 2: cached replay ------------------------------------------
+    cache_dir = str(tmp_path / "service-cache")
+    cache_config = ServiceConfig(workers=1, cache_dir=cache_dir)
+    _run_leg(pool, cache_config, requests)  # populate
+    cached_replies, cached_stats, cached_s = _best_leg(
+        pool, cache_config, requests, passes=2,
+    )
+    pool.close()
+    assert all(reply.cached for reply in cached_replies), (
+        "second replay over the same cache dir must be all hits"
+    )
+    cache_hit_rate = cached_stats.cache_hit_rate
+    cache_miss_rate = 1.0 - cache_hit_rate
+    cached_p50_ms = cached_stats.latency_percentile(50) * 1e3
+    cached_p99_ms = cached_stats.latency_percentile(99) * 1e3
+
+    artifact = obs.bench.make_artifact(
+        "service",
+        metrics={
+            "serial_s": round(serial_s, 6),
+            "service_nocache_s": round(service_nocache_s, 6),
+            "nocache_slowdown": round(nocache_slowdown, 4),
+            "speedup_1w": round(speedup_1w, 4),
+            "warm_start_s": round(warm_start_s, 6),
+            "cached_s": round(cached_s, 6),
+            "cache_miss_rate": round(cache_miss_rate, 4),
+            "p50_ms": round(p50_ms, 3),
+            "p99_ms": round(p99_ms, 3),
+            "cached_p50_ms": round(cached_p50_ms, 3),
+            "cached_p99_ms": round(cached_p99_ms, 3),
+        },
+        budgets={
+            # ISSUE 7's acceptance: >= 0.95x serial at 1 warm worker,
+            # i.e. at most 1/0.95 ~ 1.0526x serial wall time.
+            "nocache_slowdown": round(1.0 / MIN_SPEEDUP_1W, 4),
+            # The cached replay must be all hits.
+            "cache_miss_rate": 0.01,
+        },
+        regression_metrics=["service_nocache_s", "cached_s"],
+        info={
+            "loops": n_loops,
+            "machine": machine.name,
+            "usable_cores": cores,
+            "min_speedup_1w": MIN_SPEEDUP_1W,
+            "batches": nocache_stats.batches,
+            "replies_identical_to_serial": True,
+            "cache_hit_rate": round(cache_hit_rate, 4),
+        },
+    )
+    obs.bench.write_artifact(artifact, ARTIFACT)
+
+    print_report(
+        f"Compile service — {n_loops} loops, 1 warm worker "
+        f"({cores} cores)",
+        f"serial: {serial_s:.2f}s   service (no cache): "
+        f"{service_nocache_s:.2f}s   speedup: {speedup_1w:.2f}x",
+        f"cached replay: {cached_s:.2f}s   hit rate: "
+        f"{cache_hit_rate:.0%}   p50/p99: {p50_ms:.1f}/{p99_ms:.1f} ms "
+        f"(cached: {cached_p50_ms:.2f}/{cached_p99_ms:.2f} ms)",
+        f"wrote {ARTIFACT.name}",
+    )
+    assert speedup_1w >= MIN_SPEEDUP_1W, (
+        f"warm 1-worker service ran at {speedup_1w:.2f}x serial, "
+        f"below the {MIN_SPEEDUP_1W:.2f}x floor — the serving layer "
+        f"is paying too much overhead per request"
+    )

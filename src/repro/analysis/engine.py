@@ -6,16 +6,23 @@ one clustered configuration against its unified baseline over a loop
 corpus — but adds the operational machinery a 1327-loop × many-machine
 sweep needs:
 
-* **process-pool fan-out** — ``workers=N`` chunks the corpus over a
-  worker pool; results merge back in suite order, so the outcome list
-  is bit-identical to the serial path regardless of completion order;
+* **warm-pool fan-out** — ``workers=N`` chunks the corpus over the
+  persistent fork-server pool (:mod:`repro.service.pool`; workers stay
+  warm across runs, so repeat dispatches skip process startup);
+  results merge back in suite order, so the outcome list is
+  bit-identical to the serial path regardless of completion order, and
+  a crashed worker degrades its chunk to recorded ``failed`` outcomes
+  after the pool's retry budget is spent;
 * **fault isolation** — a loop that raises ``CompilationError`` (or
   ``ValueError`` for a malformed graph) becomes a recorded ``failed``
   outcome; ``strict=True`` restores the abort-on-first-failure
   :class:`~repro.analysis.experiment.ExperimentError`;
 * **per-loop wall-time budget** — ``timeout_seconds`` arms a SIGALRM
-  timer around each loop; a loop that blows the budget is gracefully
-  skipped as a ``timeout`` outcome;
+  timer around each loop (saving and restoring any ambient ITIMER_REAL
+  so nested budgets compose); off the main thread, where SIGALRM is
+  undeliverable, a watchdog thread enforces the same budget and the
+  ``engine.budget_fallback`` counter records it; either way a loop
+  that blows the budget is gracefully skipped as a ``timeout`` outcome;
 * **on-disk result cache** — ``cache_dir`` persists every outcome under
   a content hash of (DDG, machine, config), and ``resume=True`` replays
   cached outcomes so an interrupted sweep restarts for free;
@@ -29,6 +36,7 @@ The serial runner stays the reference implementation: for any corpus,
 
 from __future__ import annotations
 
+import ctypes
 import dataclasses
 import hashlib
 import json
@@ -36,7 +44,6 @@ import os
 import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -45,7 +52,16 @@ from ..core.driver import CompilationError, compile_loop
 from ..core.variants import HEURISTIC_ITERATIVE, AssignmentConfig
 from ..ddg.graph import Ddg
 from ..machine.machine import Machine
-from ..workloads.fingerprint import ddg_fingerprint
+from ..service.pool import (
+    DeadlineExceeded,
+    WorkerCrashError,
+    shared_pool,
+)
+from ..workloads.fingerprint import (
+    config_fingerprint,
+    ddg_fingerprint,
+    machine_fingerprint,
+)
 from .experiment import (
     STATUS_FAILED,
     STATUS_OK,
@@ -90,35 +106,21 @@ class EngineOptions:
     #: recording failure counts/codes (and the exact oracle's verdict)
     #: on the outcome.  Frozen and picklable, same as ``lint_config``.
     certify_config: Optional[object] = None
+    #: A :class:`repro.service.WorkerPool` to dispatch chunks on; None
+    #: uses the process-wide shared warm pool (the default — repeat
+    #: runs then skip worker startup entirely).
+    pool: Optional[object] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
 
 # ----------------------------------------------------------------------
 # Content-addressed result cache
 # ----------------------------------------------------------------------
-def machine_fingerprint(machine: Machine) -> str:
-    """Hex digest of everything the compiler reads from a machine."""
-    doc = {
-        "name": machine.name,
-        "clusters": machine.n_clusters,
-        "gp": machine.general_purpose,
-        "interconnect": type(machine.interconnect).__name__,
-        "caps": sorted(
-            (str(key), value)
-            for key, value in machine.resource_capacities().items()
-        ),
-    }
-    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-def config_fingerprint(config: AssignmentConfig) -> str:
-    """Hex digest of an assignment configuration's knobs."""
-    payload = json.dumps(
-        dataclasses.asdict(config), separators=(",", ":"), sort_keys=True
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
+# machine_fingerprint / config_fingerprint moved to
+# repro.workloads.fingerprint (shared with the service's sharded cache)
+# and are re-exported above for compatibility; the digests are
+# unchanged, so existing cache entries stay valid.
 def lint_fingerprint(lint_config) -> Optional[str]:
     """Hex digest of a lint gate's configuration (None when no gate)."""
     if lint_config is None:
@@ -249,36 +251,84 @@ def _alarm_handler(signum, frame):  # pragma: no cover - trivial
     raise _LoopTimeout()
 
 
-class _TimeBudget:
-    """SIGALRM-based wall-time budget around one loop's compiles.
+def _raise_timeout_in_thread(thread_id: int,
+                             fired: threading.Event) -> None:
+    """Watchdog body: asynchronously raise :class:`_LoopTimeout` in the
+    budgeted thread (lands at its next bytecode boundary)."""
+    fired.set()
+    modified = ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(thread_id), ctypes.py_object(_LoopTimeout)
+    )
+    if modified > 1:  # pragma: no cover - undo a bad broadcast
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(thread_id), None
+        )
 
-    Arms a real-time interval timer on ``__enter__`` and disarms it on
-    ``__exit__``.  Signals only work on the main thread of a process;
-    elsewhere (or with a non-positive budget) this is a no-op, so the
-    budget is best-effort by design — worker processes always run it on
-    their main thread, which is the case that matters.
+
+class _TimeBudget:
+    """Wall-time budget around one loop's compiles.
+
+    On the main thread this arms ``ITIMER_REAL``/SIGALRM — and, unlike
+    the earlier implementation (which disarmed the timer outright on
+    exit), it saves the ambient timer on ``__enter__`` and re-arms it
+    with its *remaining* interval on ``__exit__``, so nested budgets
+    and host processes that use ITIMER_REAL themselves keep their
+    deadlines.
+
+    Off the main thread SIGALRM is undeliverable, so the budget
+    degrades to a watchdog :class:`threading.Timer` that raises
+    :class:`_LoopTimeout` in the budgeted thread via
+    ``PyThreadState_SetAsyncExc``; every budget enforced this way bumps
+    the ``engine.budget_fallback`` counter.  The async raise only lands
+    at a bytecode boundary, so code wedged inside C is caught by the
+    worker pool's process-level deadline, not here.
     """
 
     def __init__(self, seconds: float) -> None:
         self.seconds = seconds
         self._armed = False
-        self._previous = None
+        self._previous_handler = None
+        self._prior_timer = (0.0, 0.0)
+        self._entered_at = 0.0
+        self._watchdog: Optional[threading.Timer] = None
+        self._fallback_fired = threading.Event()
 
     def __enter__(self) -> "_TimeBudget":
-        if (self.seconds > 0
-                and threading.current_thread()
-                is threading.main_thread()):
-            self._previous = signal.signal(
+        if self.seconds <= 0:
+            return self
+        if threading.current_thread() is threading.main_thread():
+            self._previous_handler = signal.signal(
                 signal.SIGALRM, _alarm_handler
             )
-            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._entered_at = time.monotonic()
+            self._prior_timer = signal.setitimer(
+                signal.ITIMER_REAL, self.seconds
+            )
             self._armed = True
+        else:
+            self._watchdog = threading.Timer(
+                self.seconds, _raise_timeout_in_thread,
+                args=(threading.get_ident(), self._fallback_fired),
+            )
+            self._watchdog.daemon = True
+            self._watchdog.start()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         if self._armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, self._previous)
+            signal.signal(signal.SIGALRM, self._previous_handler)
+            prior_seconds, prior_interval = self._prior_timer
+            if prior_seconds > 0:
+                elapsed = time.monotonic() - self._entered_at
+                remaining = max(prior_seconds - elapsed, 1e-6)
+                signal.setitimer(
+                    signal.ITIMER_REAL, remaining, prior_interval
+                )
+        elif self._watchdog is not None:
+            self._watchdog.cancel()
+            if self._fallback_fired.is_set():
+                obs.count("engine.budget_fallback")
         return False
 
 
@@ -546,7 +596,15 @@ def _run_parallel(
     pending, machine, unified, config, verify, options,
     baseline, outcomes, result,
 ) -> None:
-    """Fan the pending loops out over a process pool and merge back."""
+    """Fan the pending loops out over the warm worker pool.
+
+    Chunks dispatch as ``engine_chunk`` tasks on ``options.pool`` (or
+    the process-wide shared pool) and merge back in submission order,
+    so the outcome list is bit-identical to serial no matter which
+    worker finished what.  A chunk whose worker crashed past the pool's
+    retry budget degrades to ``failed`` outcomes; a chunk that blew a
+    pool-level deadline degrades to ``timeout`` outcomes.
+    """
     known_ii = {
         ddg.name: ii
         for _, ddg in pending
@@ -564,42 +622,66 @@ def _run_parallel(
     by_name = {ddg.name: ddg for _, ddg in pending}
     parent_trace = obs.current_trace()
     lanes: dict = {}
-    submitted_wall = time.time()
-    with ProcessPoolExecutor(max_workers=options.workers) as pool:
-        for records, events, meta in pool.map(_run_chunk, payloads):
-            for index, outcome, baseline_seconds in records:
-                result.baseline_seconds += baseline_seconds
-                if outcome.unified_ii > 0:
-                    baseline.seed(
-                        unified.name, by_name[outcome.loop_name],
-                        outcome.unified_ii,
-                    )
-                outcomes[index] = outcome
-            if events and parent_trace is not None:
-                worker_trace = obs.trace_from_events(events)
-                # Stable small lane ids, one per worker process, in
-                # order of first completion; the host span's attrs
-                # carry the queue-wait/execute split so the timeline
-                # and Chrome export can reconstruct per-worker
-                # utilization (docs/EXPERIMENT_ENGINE.md).
-                lane = pid = 0
-                queue_wait = execute = 0.0
-                if meta is not None:
-                    worker_trace.trace_id = meta["trace_id"]
-                    worker_trace.epoch_wall = meta["epoch_wall"]
-                    pid = meta["pid"]
-                    lane = lanes.setdefault(pid, len(lanes))
-                    execute = meta["execute_s"]
-                    if meta["epoch_wall"] is not None:
-                        queue_wait = max(
-                            0.0, meta["epoch_wall"] - submitted_wall
-                        )
-                parent_trace.graft(
-                    worker_trace, name="worker",
-                    chunk_loops=len(records), lane=lane, pid=pid,
-                    queue_wait_s=round(queue_wait, 6),
-                    execute_s=round(execute, 6),
+    pool = options.pool
+    if pool is None:
+        pool = shared_pool(options.workers)
+    else:
+        pool.ensure_workers(options.workers)
+    futures = [
+        pool.submit("engine_chunk", payload) for payload in payloads
+    ]
+    for chunk, future in zip(chunks, futures):
+        try:
+            task = future.result()
+        except WorkerCrashError as exc:
+            obs.count("engine.chunk_crashes")
+            for index, ddg in chunk:
+                obs.count("experiment.failures")
+                outcomes[index] = LoopOutcome(
+                    loop_name=ddg.name,
+                    unified_ii=known_ii.get(ddg.name, 0),
+                    clustered_ii=0, copies=0,
+                    status=STATUS_FAILED,
+                    error=f"worker crashed: {exc}",
                 )
+            continue
+        except DeadlineExceeded as exc:
+            obs.count("engine.chunk_deadlines")
+            for index, ddg in chunk:
+                obs.count("experiment.timeouts")
+                outcomes[index] = LoopOutcome(
+                    loop_name=ddg.name,
+                    unified_ii=known_ii.get(ddg.name, 0),
+                    clustered_ii=0, copies=0,
+                    status=STATUS_TIMEOUT, error=str(exc),
+                )
+            continue
+        records, events, meta = task.value
+        for index, outcome, baseline_seconds in records:
+            result.baseline_seconds += baseline_seconds
+            if outcome.unified_ii > 0:
+                baseline.seed(
+                    unified.name, by_name[outcome.loop_name],
+                    outcome.unified_ii,
+                )
+            outcomes[index] = outcome
+        if events and parent_trace is not None:
+            worker_trace = obs.trace_from_events(events)
+            # Stable small lane ids, one per worker process, in order
+            # of first completion; the host span's attrs carry the
+            # queue-wait/execute split so the timeline and Chrome
+            # export can reconstruct per-worker utilization
+            # (docs/EXPERIMENT_ENGINE.md).
+            if meta is not None:
+                worker_trace.trace_id = meta["trace_id"]
+                worker_trace.epoch_wall = meta["epoch_wall"]
+            lane = lanes.setdefault(task.pid, len(lanes))
+            parent_trace.graft(
+                worker_trace, name="worker",
+                chunk_loops=len(records), lane=lane, pid=task.pid,
+                queue_wait_s=round(task.queue_wait_s, 6),
+                execute_s=round(task.execute_s, 6),
+            )
 
 
 def _raise_on_first_failure(result: ExperimentResult) -> None:

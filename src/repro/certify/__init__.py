@@ -46,6 +46,7 @@ _PIPELINE_EXPORTS = {
     "CertifiedArtifact": ("gate", "CertifiedArtifact"),
     "certify_compiled": ("gate", "certify_compiled"),
     "artifact_diagnostics": ("gate", "artifact_diagnostics"),
+    "certify_loop_report": ("gate", "certify_loop_report"),
     "CODE_LOOSE_II": ("gate", "CODE_LOOSE_II"),
 }
 

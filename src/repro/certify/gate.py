@@ -183,3 +183,48 @@ def artifact_diagnostics(artifact: CertifiedArtifact) -> List[Diagnostic]:
             )
         )
     return diagnostics
+
+
+def certify_loop_report(ddg, machine, variant, certify_config, severity):
+    """Compile + certify one loop into a lint-style report.
+
+    The ``repro certify`` per-loop unit, shared by the serial path and
+    the worker pool's ``certify_loop`` task.  A loop that fails to
+    compile surfaces as a ``LINT002`` diagnostic (severity-overridable,
+    like deep lint); checker issues and the exact oracle's verdict flow
+    through :func:`artifact_diagnostics` with any ``--severity
+    CODE=LEVEL`` overrides applied afterwards, so exit codes track
+    effective severities only.
+    """
+    import dataclasses
+
+    from ..core.driver import CompilationError, compile_loop
+    from ..lint.diagnostics import (
+        CODE_COMPILE_FAILURE,
+        compile_failure,
+    )
+    from ..lint.engine import LintReport
+
+    report = LintReport(n_targets=1)
+    try:
+        compiled = compile_loop(ddg, machine, config=variant)
+    except (CompilationError, ValueError) as exc:
+        report.diagnostics.append(
+            compile_failure(
+                ddg.name or "loop", exc,
+                severity=severity.get(
+                    CODE_COMPILE_FAILURE, SEVERITY_ERROR
+                ),
+            )
+        )
+        return report
+    artifact = certify_compiled(compiled, certify_config)
+    report.rules_run = 7 + (1 if certify_config.exact else 0)
+    for diagnostic in artifact_diagnostics(artifact):
+        override = severity.get(diagnostic.code)
+        if override is not None and override != diagnostic.severity:
+            diagnostic = dataclasses.replace(
+                diagnostic, severity=override
+            )
+        report.diagnostics.append(diagnostic)
+    return report

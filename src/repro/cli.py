@@ -42,7 +42,6 @@ import argparse
 import dataclasses
 import json
 import sys
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Optional
 
 from . import obs
@@ -59,15 +58,7 @@ from .codegen import expand_pipeline, format_kernel_only, format_pipelined
 from .core import ALL_VARIANTS, CompilationError, compile_loop
 from .ddg.dot import annotated_to_dot
 from .ddg.parse import parse_loop
-from .machine import (
-    Machine,
-    four_cluster_fs,
-    four_cluster_gp,
-    four_cluster_grid,
-    n_cluster_gp,
-    two_cluster_fs,
-    two_cluster_gp,
-)
+from .machine import Machine, STANDARD_PRESETS
 from .workloads import (
     all_kernels,
     bundled_corpus,
@@ -76,15 +67,10 @@ from .workloads import (
     suite_statistics,
 )
 
-MACHINES: Dict[str, Callable[[], Machine]] = {
-    "2gp": two_cluster_gp,
-    "4gp": four_cluster_gp,
-    "2fs": two_cluster_fs,
-    "4fs": four_cluster_fs,
-    "grid": four_cluster_grid,
-    "6gp": lambda: n_cluster_gp(6, 6, 3),
-    "8gp": lambda: n_cluster_gp(8, 7, 3),
-}
+#: Preset name → machine builder; one table shared with the service's
+#: warm workers (:data:`repro.machine.STANDARD_PRESETS`), so a preset
+#: named on the command line resolves against pre-built state there.
+MACHINES: Dict[str, Callable[[], Machine]] = STANDARD_PRESETS
 
 VARIANTS = {config.name.lower().replace(" ", "-"): config
             for config in ALL_VARIANTS}
@@ -609,14 +595,6 @@ def _lint_loops(args: argparse.Namespace):
     return list(unique.values())
 
 
-def _lint_loop_worker(payload):
-    """Process-pool task: deep-lint one loop (see ``--workers``)."""
-    ddg, machine, config, variant = payload
-    from .lint import lint_loop_deep
-
-    return lint_loop_deep(ddg, machine, config, variant)
-
-
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import (
         LintTarget,
@@ -638,16 +616,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             config,
         ))
     elif args.workers >= 2 and len(loops) > 1:
-        # Parallel deep pass: the machine in the parent, one task per
-        # loop; per-loop reports merge back in suite order, so the
-        # rendered output is byte-identical to a serial run.
+        # Parallel deep pass over the warm worker pool: the machine in
+        # the parent, one task per loop; per-loop reports merge back
+        # in suite order, so the rendered output is byte-identical to
+        # a serial run.
+        from .service import map_tasks
+
         report = lint_machine(machine, config)
         payloads = [
             (ddg, machine, config, variant) for ddg in loops
         ]
-        with ProcessPoolExecutor(max_workers=args.workers) as pool:
-            for loop_report in pool.map(_lint_loop_worker, payloads):
-                report.extend(loop_report)
+        for loop_report in map_tasks(
+            "lint_loop", payloads, workers=args.workers
+        ):
+            report.extend(loop_report)
     else:
         report = lint_corpus_deep(loops, machine, config, variant)
     rendered = render(report, args.format)
@@ -660,55 +642,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if args.exit_zero else report.exit_code
 
 
-def _certify_one(ddg, machine, variant, certify_config, severity):
-    """Compile + certify one loop into a lint-style report.
-
-    A loop that fails to compile surfaces as a ``LINT002`` diagnostic
-    (severity-overridable, like deep lint); checker issues and the
-    exact oracle's verdict flow through
-    :func:`repro.certify.gate.artifact_diagnostics` with any
-    ``--severity CODE=LEVEL`` overrides applied afterwards, so exit
-    codes track effective severities only.
-    """
-    from .certify.gate import artifact_diagnostics, certify_compiled
-    from .lint.diagnostics import (
-        CODE_COMPILE_FAILURE,
-        SEVERITY_ERROR,
-        compile_failure,
-    )
-    from .lint.engine import LintReport
-
-    report = LintReport(n_targets=1)
-    try:
-        compiled = compile_loop(ddg, machine, config=variant)
-    except (CompilationError, ValueError) as exc:
-        report.diagnostics.append(
-            compile_failure(
-                ddg.name or "loop", exc,
-                severity=severity.get(
-                    CODE_COMPILE_FAILURE, SEVERITY_ERROR
-                ),
-            )
-        )
-        return report
-    artifact = certify_compiled(compiled, certify_config)
-    report.rules_run = 7 + (1 if certify_config.exact else 0)
-    for diagnostic in artifact_diagnostics(artifact):
-        override = severity.get(diagnostic.code)
-        if override is not None and override != diagnostic.severity:
-            diagnostic = dataclasses.replace(
-                diagnostic, severity=override
-            )
-        report.diagnostics.append(diagnostic)
-    return report
-
-
-def _certify_loop_worker(payload):
-    """Process-pool task: certify one loop (see ``--workers``)."""
-    return _certify_one(*payload)
-
-
 def _cmd_certify(args: argparse.Namespace) -> int:
+    from .certify.gate import certify_loop_report
     from .lint import render
     from .lint.engine import LintReport
 
@@ -719,21 +654,22 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     certify_config = _certify_config_from_args(args)
     report = LintReport()
     if args.workers >= 2 and len(loops) > 1:
-        # One task per loop; merge in suite order so the rendered
-        # report is byte-identical to a serial run.
+        # One warm-pool task per loop; merge in suite order so the
+        # rendered report is byte-identical to a serial run.
+        from .service import map_tasks
+
         payloads = [
             (ddg, machine, variant, certify_config, severity)
             for ddg in loops
         ]
-        with ProcessPoolExecutor(max_workers=args.workers) as pool:
-            for loop_report in pool.map(
-                _certify_loop_worker, payloads
-            ):
-                report.extend(loop_report)
+        for loop_report in map_tasks(
+            "certify_loop", payloads, workers=args.workers
+        ):
+            report.extend(loop_report)
     else:
         for ddg in loops:
             report.extend(
-                _certify_one(
+                certify_loop_report(
                     ddg, machine, variant, certify_config, severity
                 )
             )
@@ -971,8 +907,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "benchmarks", nargs="*",
-        help="benchmark names for 'run' (default: all five "
-             "observatory benchmarks)",
+        help="benchmark names for 'run' (default: every registered "
+             "observatory benchmark)",
     )
     bench_parser.add_argument(
         "--history", default="results/bench_history.jsonl",

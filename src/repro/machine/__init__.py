@@ -10,6 +10,7 @@ from .interconnect import (
 )
 from .machine import Machine, ResourceKey
 from .presets import (
+    STANDARD_PRESETS,
     TABLE3_CONFIGS,
     bused_machine,
     four_cluster_fs,
@@ -43,6 +44,7 @@ __all__ = [
     "PAPER_GRID_MIX",
     "PointToPointInterconnect",
     "ResourceKey",
+    "STANDARD_PRESETS",
     "TABLE3_CONFIGS",
     "UnitMix",
     "bused_machine",

@@ -12,7 +12,7 @@ Builders for every configuration the evaluation sweeps over:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from .cluster import ClusterSpec
 from .interconnect import (
@@ -206,3 +206,18 @@ TABLE3_CONFIGS: List[Tuple[int, int, int]] = [
     (6, 6, 3),
     (8, 7, 3),
 ]
+
+
+#: The named machine presets shared by the CLI (``--machine``) and the
+#: compile service's warm workers (:mod:`repro.service.tasks` builds
+#: every preset once at worker start so requests that name a preset
+#: never pay construction cost).  Builders take no arguments.
+STANDARD_PRESETS: Dict[str, Callable[[], Machine]] = {
+    "2gp": two_cluster_gp,
+    "4gp": four_cluster_gp,
+    "2fs": two_cluster_fs,
+    "4fs": four_cluster_fs,
+    "grid": four_cluster_grid,
+    "6gp": lambda: n_cluster_gp(6, 6, 3),
+    "8gp": lambda: n_cluster_gp(8, 7, 3),
+}

@@ -69,6 +69,7 @@ OBSERVATORY = {
     "certify_overhead": (
         "benchmarks/test_certify_overhead.py", "BENCH_certify.json"
     ),
+    "service": ("benchmarks/test_service.py", "BENCH_service.json"),
 }
 
 
@@ -235,9 +236,12 @@ def check_entry(
 
     Budgets are absolute caps from the entry itself.  Each regression
     metric is compared against the mean of that metric over the last
-    ``baseline_n`` prior entries; a value more than ``tolerance``
-    (fractional) above the mean is a regression.  With no prior history
-    only budgets apply — the first recorded run *is* the baseline.
+    ``baseline_n`` prior entries **recorded on a same-shape host**
+    (same usable core count — a 4-core laptop's timings must never
+    gate a 1-core CI runner, and vice versa); a value more than
+    ``tolerance`` (fractional) above the mean is a regression.  With
+    no same-host prior history only budgets apply — the first run on
+    each host shape *is* that shape's baseline.
     """
     name = str(latest["benchmark"])
     metrics = dict(latest.get("metrics", {}))
@@ -249,7 +253,12 @@ def check_entry(
                 Violation(name, metric, "budget", float(value),
                           float(cap))
             )
-    window = list(previous)[-baseline_n:]
+    host_cores = dict(latest.get("host") or {}).get("cores")
+    comparable = [
+        entry for entry in previous
+        if dict(entry.get("host") or {}).get("cores") == host_cores
+    ]
+    window = comparable[-baseline_n:]
     for metric in list(latest.get("regression_metrics", [])):
         value = metrics.get(metric)
         if value is None:
@@ -345,8 +354,9 @@ def run_benchmarks(
 ) -> int:
     """Run the observatory benchmarks via pytest; returns its exit code.
 
-    ``names`` selects a subset of :data:`OBSERVATORY` (default: all
-    five); ``suite_size`` exports ``REPRO_SUITE_SIZE`` for the run (the
+    ``names`` selects a subset of :data:`OBSERVATORY` (default: every
+    registered benchmark); ``suite_size`` exports ``REPRO_SUITE_SIZE``
+    for the run (the
     ``--smoke`` path uses the 100-loop floor).  The benchmarks
     themselves write the ``BENCH_*.json`` artifacts; the caller
     (``repro bench run``) appends them to the history afterwards.

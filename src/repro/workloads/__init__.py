@@ -8,7 +8,12 @@ from .corpus import (
     loads_corpus,
     save_corpus,
 )
-from .fingerprint import ddg_fingerprint
+from .fingerprint import (
+    compile_fingerprint,
+    config_fingerprint,
+    ddg_fingerprint,
+    machine_fingerprint,
+)
 from .kernels import all_kernels, build_kernel, kernel_names
 from .stats import StatRow, SuiteStatistics, suite_statistics
 from .suite import DEFAULT_SEED, PAPER_SUITE_SIZE, paper_suite
@@ -25,6 +30,8 @@ __all__ = [
     "build_kernel",
     "bundled_corpus",
     "bundled_corpus_path",
+    "compile_fingerprint",
+    "config_fingerprint",
     "ddg_fingerprint",
     "dumps_corpus",
     "generate_loop",
@@ -32,6 +39,7 @@ __all__ = [
     "kernel_names",
     "load_corpus",
     "loads_corpus",
+    "machine_fingerprint",
     "paper_suite",
     "save_corpus",
     "suite_statistics",

@@ -1,24 +1,42 @@
-"""Stable content hashing for loop DDGs.
+"""Stable content hashing for compile requests and their parts.
 
-The experiment engine's on-disk result cache and the unified-baseline
-duplicate guard both need a *content* identity for a loop: two graphs
-hash equal iff they would compile identically.  The fingerprint covers
-everything the compiler reads — node ids, opcodes, (possibly
-overridden) latencies, and the full edge list with distances — and
-nothing it does not (the loop's display name is deliberately excluded
-so a renamed-but-identical loop keeps its identity).
+The experiment engine's on-disk result cache, the unified-baseline
+duplicate guard, and the compile service's sharded result cache all
+need *content* identities: two requests hash equal iff they would
+compile identically.  Three ingredient fingerprints cover everything
+the compiler reads —
 
-Fingerprints are hex SHA-256 digests of a canonical JSON document, so
+* :func:`ddg_fingerprint` — node ids, opcodes, (possibly overridden)
+  latencies, and the full edge list with distances; the loop's display
+  name is deliberately excluded so a renamed-but-identical loop keeps
+  its identity;
+* :func:`machine_fingerprint` — cluster count, unit mix capacities,
+  interconnect kind, GP flag;
+* :func:`config_fingerprint` — every knob of an
+  :class:`~repro.core.variants.AssignmentConfig`;
+
+and :func:`compile_fingerprint` combines them into the identity of one
+(loop, machine, config, verify) compile request — the key shape shared
+by :mod:`repro.analysis.engine`'s outcome cache and
+:mod:`repro.service.cache`'s sharded store.
+
+Fingerprints are hex SHA-256 digests of canonical JSON documents, so
 they are stable across processes, Python versions, and hash seeds —
 safe to use as cache file names.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 
 from ..ddg.graph import Ddg
+
+
+def _digest(doc) -> str:
+    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def ddg_fingerprint(ddg: Ddg) -> str:
@@ -28,7 +46,7 @@ def ddg_fingerprint(ddg: Ddg) -> str:
     format) but the loop's own ``name`` is not: identity follows the
     graph, not the label.
     """
-    doc = {
+    return _digest({
         "nodes": [
             [node.node_id, node.opcode.value, node.latency, node.name]
             for node in ddg.nodes
@@ -36,6 +54,44 @@ def ddg_fingerprint(ddg: Ddg) -> str:
         "edges": [
             [edge.src, edge.dst, edge.distance] for edge in ddg.edges
         ],
-    }
-    payload = json.dumps(doc, separators=(",", ":"), sort_keys=True)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    })
+
+
+def machine_fingerprint(machine) -> str:
+    """Hex digest of everything the compiler reads from a machine."""
+    return _digest({
+        "name": machine.name,
+        "clusters": machine.n_clusters,
+        "gp": machine.general_purpose,
+        "interconnect": type(machine.interconnect).__name__,
+        "caps": sorted(
+            (str(key), value)
+            for key, value in machine.resource_capacities().items()
+        ),
+    })
+
+
+def config_fingerprint(config) -> str:
+    """Hex digest of an assignment configuration's knobs."""
+    return _digest(dataclasses.asdict(config))
+
+
+def compile_fingerprint(
+    ddg: Ddg, machine, config, verify: bool = False, extra=None,
+) -> str:
+    """Identity of one compile request: loop + machine + config (+
+    ``verify`` and any ``extra`` JSON-serializable gate facts).
+
+    The loop's display name *is* included here (unlike
+    :func:`ddg_fingerprint` alone): request-level caches key outcomes
+    that carry the name, and two same-content loops under different
+    names must not replay each other's records.
+    """
+    return _digest({
+        "loop": ddg.name,
+        "ddg": ddg_fingerprint(ddg),
+        "machine": machine_fingerprint(machine),
+        "config": config_fingerprint(config),
+        "verify": bool(verify),
+        "extra": extra,
+    })

@@ -1,0 +1,134 @@
+"""The per-loop wall-time budget: itimer save/restore + thread fallback.
+
+Satellites 1–2 of ISSUE 7: ``_TimeBudget.__exit__`` used to disarm
+ITIMER_REAL unconditionally, silently killing any ambient or outer
+timer; and off the main thread the SIGALRM budget was a silent no-op.
+These tests pin the fixed contract: the ambient timer is restored with
+its remaining interval, nested budgets compose, and off-main-thread
+budgets are enforced by the watchdog fallback (counted via
+``engine.budget_fallback``).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis.engine import _LoopTimeout, _TimeBudget
+
+
+@pytest.fixture(autouse=True)
+def clean_itimer():
+    """Never leak an armed ITIMER_REAL or SIGALRM handler to the rest
+    of the suite, even when an assertion fails mid-test."""
+    yield
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+    signal.signal(signal.SIGALRM, signal.SIG_DFL)
+
+
+def _busy_wait(seconds: float) -> None:
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        pass
+
+
+class TestMainThreadBudget:
+    def test_budget_fires(self):
+        with pytest.raises(_LoopTimeout):
+            with _TimeBudget(0.05):
+                _busy_wait(2.0)
+
+    def test_fast_body_passes(self):
+        with _TimeBudget(5.0):
+            pass
+        # Fully disarmed afterwards (no ambient timer to restore).
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_zero_budget_is_a_no_op(self):
+        before = signal.getsignal(signal.SIGALRM)
+        with _TimeBudget(0.0):
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        assert signal.getsignal(signal.SIGALRM) is before
+
+
+class TestAmbientTimerRestore:
+    def test_ambient_itimer_survives_a_budget(self):
+        # A host process (profiler, supervisor...) armed ITIMER_REAL
+        # before the engine ran a budget; the old __exit__ silently
+        # disarmed it.
+        def ambient_handler(signum, frame):  # pragma: no cover
+            raise AssertionError("ambient alarm must not fire here")
+
+        previous = signal.signal(signal.SIGALRM, ambient_handler)
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 30.0)
+            with _TimeBudget(5.0):
+                pass
+            remaining, interval = signal.getitimer(signal.ITIMER_REAL)
+            assert 0.0 < remaining <= 30.0
+            assert interval == 0.0
+            assert signal.getsignal(signal.SIGALRM) is ambient_handler
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_restored_timer_accounts_for_elapsed_time(self):
+        signal.signal(signal.SIGALRM, signal.SIG_IGN)
+        signal.setitimer(signal.ITIMER_REAL, 30.0)
+        with _TimeBudget(5.0):
+            _busy_wait(0.2)
+        remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert remaining <= 30.0 - 0.2 + 0.05  # elapsed was deducted
+
+    def test_nested_budgets_compose(self):
+        with _TimeBudget(30.0):
+            with pytest.raises(_LoopTimeout):
+                with _TimeBudget(0.05):
+                    _busy_wait(2.0)
+            # The inner exit re-armed the outer budget's timer.
+            remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert 0.0 < remaining <= 30.0
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+class TestWatchdogFallback:
+    def _run_budgeted(self, budget_s, body_s):
+        """Run a budgeted busy-wait off the main thread; report whether
+        the budget fired and the thread's fallback counter."""
+        report = {}
+
+        def body():
+            trace = obs.Trace()
+            obs.install(trace)
+            try:
+                try:
+                    with _TimeBudget(budget_s):
+                        _busy_wait(body_s)
+                    report["fired"] = False
+                except _LoopTimeout:
+                    report["fired"] = True
+            finally:
+                report["fallback_count"] = trace.counter(
+                    "engine.budget_fallback"
+                )
+                obs.uninstall()
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "budgeted thread never finished"
+        return report
+
+    def test_off_main_thread_budget_is_enforced(self):
+        report = self._run_budgeted(budget_s=0.1, body_s=10.0)
+        assert report["fired"] is True
+        assert report["fallback_count"] == 1
+
+    def test_fast_body_does_not_trip_the_watchdog(self):
+        report = self._run_budgeted(budget_s=10.0, body_s=0.01)
+        assert report["fired"] is False
+        assert report["fallback_count"] == 0

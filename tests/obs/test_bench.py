@@ -61,10 +61,10 @@ class TestSchema:
         with pytest.raises(ValueError):
             bench.read_artifact(str(path))
 
-    def test_observatory_covers_all_five(self):
+    def test_observatory_registry(self):
         assert sorted(bench.OBSERVATORY) == [
             "certify_overhead", "hotpath", "lint_overhead",
-            "parallel_engine", "trace_smoke",
+            "parallel_engine", "service", "trace_smoke",
         ]
 
 
@@ -136,6 +136,28 @@ class TestRegressionGate:
         bench.append_history(_artifact("b", 5.0), path)
         violations = bench.check_entries(bench.read_history(path))
         assert [v.benchmark for v in violations] == ["a"]
+
+    def test_other_host_history_is_budgets_only(self):
+        # History recorded on a different host shape (core count) must
+        # not form the baseline: a 1-core CI runner compared against a
+        # beefy laptop's timings would fail every run.
+        history = [_artifact(value=0.1) for _ in range(5)]
+        for entry in history:
+            entry["host"]["cores"] = 64
+        latest = _artifact(value=1.0)  # 10x the foreign baseline
+        assert bench.check_entry(latest, history) == []
+
+    def test_same_host_entries_still_gate(self):
+        # Slow foreign-host runs interleaved with the same-host history
+        # must not dilute the baseline: with them filtered out, a 2x
+        # slowdown against the same-host mean is a regression.
+        history = [_artifact(value=0.1) for _ in range(3)]
+        slow_foreign = [_artifact(value=10.0) for _ in range(3)]
+        for entry in slow_foreign:
+            entry["host"]["cores"] = 64
+        mixed = [x for pair in zip(history, slow_foreign) for x in pair]
+        violations = bench.check_entry(_artifact(value=0.2), mixed)
+        assert [v.kind for v in violations] == ["regression"]
 
     def test_custom_tolerance(self):
         history = [_artifact(value=1.0)]

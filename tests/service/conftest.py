@@ -1,0 +1,20 @@
+"""Shared fixtures for the service-layer tests.
+
+One warm module-scoped pool serves every test that doesn't need a
+dedicated (fault-injected) instance, so the suite pays worker startup
+once instead of per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import WorkerPool
+
+
+@pytest.fixture(scope="module")
+def warm_pool():
+    pool = WorkerPool(workers=2)
+    pool.warm_up()
+    yield pool
+    pool.close()
