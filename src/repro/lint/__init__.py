@@ -3,8 +3,10 @@
 Every invariant the assign->schedule->regalloc pipeline relies on is
 re-derived from scratch by an independent rule, registered under a
 stable diagnostic code grouped by artifact family (``DDG1xx``,
-``MACH2xx``, ``ASSIGN3xx``, ``SCHED4xx``, ``REG5xx``).  See
-``docs/LINTING.md`` for the full catalog.
+``MACH2xx``, ``ASSIGN3xx``, ``SCHED4xx``, ``REG5xx``, ``CERT6xx``,
+``DF7xx``, ``SRC8xx``).  See ``docs/LINTING.md`` for the full catalog
+and ``docs/DATAFLOW.md`` for the fixed-point engine the DF7xx family
+is built on.
 
 Entry points:
 
@@ -13,8 +15,22 @@ Entry points:
 * :func:`lint_compiled` — lint an already compiled loop (what the
   ``--lint`` pipeline gate runs);
 * :func:`lint_machine` — machine description alone;
+* :func:`lint_source_paths` — SRC8xx self-analysis of Python sources;
+* :func:`df_mii_floor` / :func:`pressure_floor` — the static bounds as
+  a library (exact-backend pruning, ROADMAP item 1);
 * :func:`render` — text / JSON / SARIF 2.1.0 output.
 """
+
+from .dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    df_mii_floor,
+    df_rec_mii,
+    df_res_mii,
+    pressure_floor,
+    solve,
+    solve_ddg,
+)
 
 from .diagnostics import (
     CODE_COMPILE_FAILURE,
@@ -31,6 +47,8 @@ from .engine import (
     lint_corpus_deep,
     lint_loop_deep,
     lint_machine,
+    lint_source_file,
+    lint_source_paths,
     lint_target,
     run_lint,
 )
@@ -52,11 +70,14 @@ from .render import (
     to_json_doc,
     to_sarif,
 )
+from .source import SourceFile, collect_source_files
 
 __all__ = [
     "CODE_COMPILE_FAILURE",
     "CODE_RULE_CRASH",
     "DEFAULT_CONFIG",
+    "DataflowProblem",
+    "DataflowResult",
     "Diagnostic",
     "FAMILIES",
     "Finding",
@@ -67,7 +88,12 @@ __all__ = [
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
+    "SourceFile",
     "all_rules",
+    "collect_source_files",
+    "df_mii_floor",
+    "df_rec_mii",
+    "df_res_mii",
     "format_json",
     "format_sarif",
     "format_text",
@@ -75,11 +101,16 @@ __all__ = [
     "lint_corpus_deep",
     "lint_loop_deep",
     "lint_machine",
+    "lint_source_file",
+    "lint_source_paths",
     "lint_target",
+    "pressure_floor",
     "render",
     "rule",
     "rules_in_family",
     "run_lint",
+    "solve",
+    "solve_ddg",
     "to_json_doc",
     "to_sarif",
 ]

@@ -31,6 +31,7 @@ from .diagnostics import (
     rule_crash,
 )
 from .registry import DEFAULT_CONFIG, LintConfig, applicable_rules
+from .source import SourceFile, collect_source_files
 
 
 @dataclass
@@ -40,7 +41,9 @@ class LintTarget:
     ``cache`` memoizes expensive derived artifacts (rebuilt reservation
     tables, MVE allocations) across rules of one target; tests may
     pre-seed it to exercise consistency rules against corrupted
-    artifacts.
+    artifacts.  ``source`` carries a Python file for the SRC8xx
+    self-analysis family — source targets and pipeline targets are
+    disjoint in practice, but nothing forbids mixing them.
     """
 
     name: str = ""
@@ -48,6 +51,7 @@ class LintTarget:
     machine: Optional[Machine] = None
     annotated: Optional[AnnotatedDdg] = None
     schedule: Optional[Schedule] = None
+    source: Optional[SourceFile] = None
     cache: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -82,6 +86,8 @@ class LintTarget:
             names.add("annotated")
         if self.schedule is not None:
             names.add("schedule")
+        if self.source is not None:
+            names.add("source")
         return names
 
 
@@ -222,6 +228,29 @@ def lint_machine(
     return lint_target(target, config)
 
 
+def lint_source_file(
+    source: SourceFile, config: LintConfig = DEFAULT_CONFIG
+) -> LintReport:
+    """Lint one Python source file (SRC8xx rules)."""
+    return lint_target(
+        LintTarget(name=source.name, source=source), config
+    )
+
+
+def lint_source_paths(
+    paths: Iterable[str], config: LintConfig = DEFAULT_CONFIG
+) -> LintReport:
+    """Self-lint Python files and directories (SRC8xx rules).
+
+    Directories expand recursively to ``*.py``; the report merges in
+    sorted path order so output is deterministic.
+    """
+    report = LintReport()
+    for source in collect_source_files(paths):
+        report.extend(lint_source_file(source, config))
+    return report
+
+
 def lint_loop_deep(
     ddg: Ddg,
     machine: Machine,
@@ -275,12 +304,12 @@ def lint_loop_deep(
         ),
         deep_config,
     )
-    # The machine and DDG families already ran on the shallow target;
-    # drop their duplicates from the deep pass (the annotated graph
-    # re-exposes both artifacts).
+    # The machine, DDG, and graph-level dataflow families already ran
+    # on the shallow target; drop their duplicates from the deep pass
+    # (the annotated graph re-exposes the same artifacts).
     deep.diagnostics = [
         d for d in deep.diagnostics
-        if not d.code.startswith(("DDG1", "MACH2"))
+        if not d.code.startswith(("DDG1", "MACH2", "DF701", "DF702"))
     ]
     report.extend(deep)
     report.n_targets -= 1  # one loop, not two targets

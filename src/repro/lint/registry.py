@@ -11,6 +11,8 @@ stable code grouped by artifact family:
 ``SCHED4xx``  modulo-schedule constraints and modulo properties
 ``REG5xx``    lifetime / MVE register-allocation consistency
 ``CERT6xx``   compilation-certificate verification
+``DF7xx``     fixed-point dataflow analyses over cyclic kernels
+``SRC8xx``    self-analysis of the repro Python sources
 ========== ======================================================
 
 A rule's check function receives ``(target, config)`` and yields
@@ -35,9 +37,13 @@ FAMILIES = {
     "SCHED4": "modulo-schedule constraints",
     "REG5": "register lifetime / MVE consistency",
     "CERT6": "certificate verification",
+    "DF7": "cyclic-kernel dataflow analysis",
+    "SRC8": "repro source self-analysis",
 }
 
-_CODE = re.compile(r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6)\d\d$")
+_CODE = re.compile(
+    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6|DF7|SRC8)\d\d$"
+)
 
 
 class Finding(NamedTuple):
@@ -60,7 +66,7 @@ class Rule:
     default_severity: str
     description: str
     #: Artifact names the target must provide: any of ``graph``,
-    #: ``machine``, ``annotated``, ``schedule``.
+    #: ``machine``, ``annotated``, ``schedule``, ``source``.
     requires: FrozenSet[str]
     check: CheckFn
     #: Artifact family reported in diagnostics (``ddg``/``machine``/...).
@@ -144,12 +150,13 @@ def applicable_rules(
 ) -> tuple:
     """Enabled rules whose requirements ``available`` satisfies.
 
-    Rule selection depends only on the config's enable/disable sets and
-    the target's artifact availability, so the filtered tuple is
-    memoized across targets — the ``--lint`` gate lints one target per
-    compiled loop and would otherwise re-filter 30+ rules each time.
+    Rule selection depends only on the config's select/enable/disable
+    sets and the target's artifact availability, so the filtered tuple
+    is memoized across targets — the ``--lint`` gate lints one target
+    per compiled loop and would otherwise re-filter 40+ rules each
+    time.
     """
-    key = (config.disable, config.enable, available)
+    key = (config.disable, config.enable, config.select, available)
     cached = _APPLICABLE.get(key)
     if cached is None:
         cached = tuple(
@@ -171,9 +178,11 @@ def _load_rule_modules() -> None:
         rules_assign,
         rules_cert,
         rules_ddg,
+        rules_df,
         rules_machine,
         rules_reg,
         rules_sched,
+        rules_src,
     )
 
 
@@ -182,13 +191,18 @@ class LintConfig:
     """Per-run rule selection and severity policy.
 
     ``disable`` wins over everything; ``enable`` opts default-off rules
-    in.  ``severity`` maps rule codes to overridden severities.  The
-    config is immutable and picklable so it can ride into experiment
-    worker processes unchanged.
+    in.  ``select``, when non-empty, restricts the run to rules whose
+    code matches one of its entries — exactly (``DF705``) or by family
+    prefix (``DF7``, ``SRC8``); a selected rule runs even when it is
+    default-off (selection implies enablement, disable still wins).
+    ``severity`` maps rule codes to overridden severities.  The config
+    is immutable and picklable so it can ride into experiment worker
+    processes unchanged.
     """
 
     disable: FrozenSet[str] = frozenset()
     enable: FrozenSet[str] = frozenset()
+    select: FrozenSet[str] = frozenset()
     severity: "Dict[str, str]" = field(default_factory=dict)
     #: Strict gates treat lint errors as compilation failures.
     strict: bool = False
@@ -208,6 +222,10 @@ class LintConfig:
         """Whether ``rule`` runs under this configuration."""
         if rule.code in self.disable:
             return False
+        if self.select:
+            return any(
+                rule.code.startswith(prefix) for prefix in self.select
+            )
         if not rule.default_enabled:
             return rule.code in self.enable
         return True

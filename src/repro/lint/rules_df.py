@@ -1,0 +1,322 @@
+"""DF7xx — dataflow-analysis rules over cyclic kernels.
+
+These rules run the fixed-point analyses of :mod:`repro.lint.dataflow`
+against whatever artifacts the target carries: cyclic liveness on the
+bare graph, copy reachability before and after cluster assignment, and
+the static register-pressure / MII lower bounds against the finished
+schedule.  Everything is a *proof*, not an observation — when DF704 or
+DF705 fires, no schedule (at that II, or at all) could have avoided it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List
+
+from .dataflow import (
+    BoolLattice,
+    DataflowProblem,
+    cached_live_values,
+    cluster_reachability,
+    df_mii_floor,
+    pressure_floor,
+    solve,
+)
+from .registry import Finding, rule
+
+
+def _node_label(ddg, node_id: int) -> str:
+    node = ddg.node(node_id)
+    return node.name or f"n{node_id}"
+
+
+def _live_map(target) -> Dict[int, bool]:
+    # target.cache first (tests pre-seed it), then the per-graph memo:
+    # liveness is machine-independent, so multi-machine sweeps share it.
+    cached = target.cache.get("df_live")
+    if cached is None:
+        cached = cached_live_values(target.graph)
+        target.cache["df_live"] = cached
+    return cached
+
+
+@rule(
+    "DF701",
+    "dead-value",
+    "info",
+    "value-producing operation whose result never reaches any effect",
+    requires=("graph",),
+    artifact="ddg",
+)
+def check_dead_values(target, config) -> Iterator[Finding]:
+    """Backward cyclic liveness: flag transitively dead value chains.
+
+    A value kept alive only by its own recurrence (an accumulator
+    nobody stores) is dead too — the analysis follows value edges
+    backward from effects, across cross-iteration wraparound, and
+    anything unreached is removable without changing the loop.
+    """
+    ddg = target.graph
+    live = _live_map(target)
+    for node_id in ddg.view().node_ids:
+        if live[node_id]:
+            continue
+        node = ddg.node(node_id)
+        kind = "copy" if node.is_copy else "operation"
+        yield Finding(
+            location=f"node {node_id}",
+            message=(
+                f"{kind} {_node_label(ddg, node_id)!r} produces a value "
+                f"no store/branch ever (transitively) consumes"
+            ),
+            hint="dead code: deleting it cannot change the loop's effects",
+        )
+
+
+@rule(
+    "DF702",
+    "unreachable-consumer",
+    "error",
+    "value flow no cluster assignment can route on this machine",
+    requires=("graph", "machine"),
+    artifact="ddg",
+)
+def check_unreachable_consumers(target, config) -> Iterator[Finding]:
+    """Pre-assignment copy-routing feasibility.
+
+    For every value edge, *some* placement of producer and consumer
+    must exist whose clusters coincide or are connected by the
+    interconnect's transitive closure.  When the FU classes pin the two
+    ops to mutually unreachable clusters, assignment is doomed before
+    it starts — report it here instead of as a routing failure.
+    """
+    ddg = target.graph
+    machine = target.effective_machine
+    if machine.is_unified:
+        return
+    senders = cluster_reachability(machine)
+    everyone = frozenset(machine.cluster_indices)
+    if all(senders[c] == everyone for c in machine.cluster_indices):
+        return  # fully connected fabric: nothing can be unroutable
+    view = ddg.view()
+    class_clusters: Dict[object, List[int]] = {}
+    feasible: Dict[int, List[int]] = {}
+    for node_id in view.node_ids:
+        node = ddg.node(node_id)
+        if node.is_copy:
+            continue
+        clusters = class_clusters.get(node.fu_class)
+        if clusters is None:
+            clusters = class_clusters[node.fu_class] = [
+                c for c in machine.cluster_indices
+                if machine.cluster(c).issue_capacity(node.fu_class) > 0
+            ]
+        feasible[node_id] = clusters
+    for src, dst, _lat, _dist in view.edge_array:
+        if src == dst or not view.produces_value[src]:
+            continue
+        if src not in feasible or dst not in feasible:
+            continue  # copies: routed already, DF703's job
+        src_clusters = feasible[src]
+        if any(
+            cu in senders[cv]
+            for cv in feasible[dst]
+            for cu in src_clusters
+        ):
+            continue
+        yield Finding(
+            location=f"edge {src}->{dst}",
+            message=(
+                f"value of {_node_label(ddg, src)!r} can never reach "
+                f"consumer {_node_label(ddg, dst)!r}: every feasible "
+                f"cluster pair is disconnected on {machine.name or 'machine'}"
+            ),
+            hint="add interconnect links or units so producer and "
+                 "consumer share a reachable cluster pair",
+        )
+
+
+@rule(
+    "DF703",
+    "copy-reach",
+    "error",
+    "copy chain fails to deliver a value to its consumers",
+    requires=("annotated",),
+    artifact="annotated",
+)
+def check_copy_reach(target, config) -> Iterator[Finding]:
+    """Reaching-copies analysis of the cluster-annotated graph.
+
+    Re-derives, independently of ``AnnotatedDdg.validate``, that every
+    copy is fed by a value path from the value it claims to transport,
+    that its hops exist on the interconnect, that its value is consumed
+    somewhere, and that every consumer reads the value in a cluster
+    some carrier actually delivers to.
+    """
+    annotated = target.annotated
+    ddg = annotated.ddg
+    machine = annotated.machine
+    view = ddg.view()
+    cluster_of = annotated.cluster_of
+    copy_targets = annotated.copy_targets
+    copy_value_of = annotated.copy_value_of
+
+    for copy_id in annotated.copy_nodes:
+        if not view.out_edges[copy_id]:
+            yield Finding(
+                location=f"node {copy_id}",
+                message=(
+                    f"copy {_node_label(ddg, copy_id)!r} is never "
+                    f"consumed on any of its target clusters"
+                ),
+                hint="the assignment inserted a useless copy",
+            )
+        src_cluster = cluster_of[copy_id]
+        for target_cluster in copy_targets.get(copy_id, ()):
+            if not machine.interconnect.reachable(
+                src_cluster, target_cluster
+            ):
+                yield Finding(
+                    location=f"node {copy_id}",
+                    message=(
+                        f"copy {_node_label(ddg, copy_id)!r} hops "
+                        f"cluster {src_cluster} -> {target_cluster}, "
+                        f"which the interconnect cannot carry"
+                    ),
+                    hint="copies must ride one-hop reachable channels",
+                )
+
+    carriers_of: Dict[int, List[int]] = {}
+    for copy_id, value_id in copy_value_of.items():
+        carriers_of.setdefault(value_id, []).append(copy_id)
+    for value_id, copies in sorted(carriers_of.items()):
+        carriers = frozenset([value_id, *copies])
+        # Fast path: when the value's own out-edges feed every copy
+        # directly (the common one-hop broadcast shape), each copy is
+        # trivially fed and the fixed point is not worth setting up.
+        direct = {dst for dst, _distance in view.out_specs[value_id]}
+        if all(copy_id in direct for copy_id in copies):
+            fed = dict.fromkeys(carriers, True)
+        else:
+            # Flow edges among carriers only; the Bool transfer is
+            # identity, so synthesizing specs from the CSR out-lists
+            # avoids scanning the whole edge array per value.
+            chain_edges = [
+                (carrier, dst, 0, 0)
+                for carrier in carriers
+                for dst, _distance in view.out_specs[carrier]
+                if dst in carriers and dst != carrier
+            ]
+            fed = solve(
+                sorted(carriers),
+                chain_edges,
+                DataflowProblem(
+                    lattice=BoolLattice,
+                    init=lambda node, root=value_id: node == root,
+                ),
+            ).values
+        for copy_id in copies:
+            if not fed[copy_id]:
+                yield Finding(
+                    location=f"node {copy_id}",
+                    message=(
+                        f"copy {_node_label(ddg, copy_id)!r} claims to "
+                        f"carry {_node_label(ddg, value_id)!r} but no "
+                        f"value path feeds it"
+                    ),
+                    hint="the copy chain is disconnected from its value",
+                )
+        for carrier in sorted(carriers):
+            delivered: FrozenSet[int] = (
+                frozenset(copy_targets.get(carrier, ()))
+                if ddg.node(carrier).is_copy
+                else frozenset((cluster_of[carrier],))
+            )
+            for dst, _distance in view.out_specs[carrier]:
+                if dst in carriers or dst == carrier:
+                    continue
+                if cluster_of[dst] in delivered:
+                    continue
+                yield Finding(
+                    location=f"edge {carrier}->{dst}",
+                    message=(
+                        f"consumer {_node_label(ddg, dst)!r} reads "
+                        f"{_node_label(ddg, value_id)!r} on cluster "
+                        f"{cluster_of[dst]}, which no carrier delivers to"
+                    ),
+                    hint="insert a copy into the consumer's cluster",
+                )
+
+
+@rule(
+    "DF704",
+    "register-pressure",
+    "error",
+    "static register-pressure floor exceeds a finite register file",
+    requires=("schedule",),
+    artifact="regalloc",
+)
+def check_register_pressure(target, config) -> Iterator[Finding]:
+    """Per-cluster register-pressure lower bound vs. the machine.
+
+    The bound holds for *every* schedule at this II (longest-path
+    minimum lifetimes), so a violation is an infeasibility proof, not
+    an allocator critique.  Clusters with ``register_file == 0``
+    (unbounded, the paper's model) are exempt.
+    """
+    schedule = target.schedule
+    machine = target.effective_machine
+    if all(c.register_file == 0 for c in machine.clusters):
+        return
+    floors = pressure_floor(schedule.annotated, schedule.ii)
+    if floors is None:
+        return  # an infeasible II is SCHED4xx territory
+    for cluster_index, floor in sorted(floors.items()):
+        capacity = machine.cluster(cluster_index).register_file
+        if capacity and floor > capacity:
+            yield Finding(
+                location=f"cluster {cluster_index}",
+                message=(
+                    f"needs at least {floor} registers at II="
+                    f"{schedule.ii}, but the file holds {capacity}"
+                ),
+                hint="no schedule at this II fits; raise the II or "
+                     "grow the register file",
+            )
+
+
+@rule(
+    "DF705",
+    "ii-below-floor",
+    "error",
+    "achieved II is below the static dataflow MII floor",
+    requires=("schedule",),
+    artifact="schedule",
+    default_enabled=False,
+)
+def check_ii_floor(target, config) -> Iterator[Finding]:
+    """Cross-check the schedule's II against :func:`df_mii_floor`.
+
+    The floor is a sound lower bound on any feasible II for the
+    annotated graph, so a schedule beneath it means either the
+    scheduler violated a constraint or the floor's proof is wrong —
+    both are bugs worth an error.  Like ``SCHED490`` and the CERT6xx
+    family, the rule re-derives MII from scratch per loop, so it is
+    opt-in (``--enable DF705`` or ``--rule DF7``) rather than part of
+    the default ``--lint`` gate's budget.
+    """
+    schedule = target.schedule
+    machine = target.effective_machine
+    floor = target.cache.get("df_mii_floor")
+    if floor is None:
+        floor = df_mii_floor(schedule.annotated.ddg, machine)
+        target.cache["df_mii_floor"] = floor
+    if schedule.ii < floor:
+        yield Finding(
+            location=f"ii {schedule.ii}",
+            message=(
+                f"schedule II {schedule.ii} is below the dataflow MII "
+                f"floor {floor}"
+            ),
+            hint="the floor is a proven lower bound; one of the two "
+                 "computations is wrong",
+        )

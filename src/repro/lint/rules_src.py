@@ -1,0 +1,324 @@
+"""SRC8xx — self-analysis of the repro codebase.
+
+AST rules over :class:`~repro.lint.source.SourceFile` targets.  Each
+rule guards an invariant the PR 7 service layer depends on:
+
+* ``SRC801`` — module-level mutable state rebound inside a function is
+  a fork-server hazard: a worker's mutation is invisible to the parent
+  and to sibling workers, and under ``fork`` the parent's value is
+  frozen into every child.  Rebinding under a lock (``with ...lock:``)
+  is the sanctioned parent-side pattern; anything else needs a
+  ``# lint: allow SRC801`` pragma and a story.
+* ``SRC802`` — task payloads must pickle: lambdas, generator
+  expressions, and open file handles die at the worker boundary.
+* ``SRC803`` — scripts need a ``__main__`` guard or every ``spawn``
+  worker re-executes them on import.
+* ``SRC804`` — blocking calls inside ``async def`` stall the front
+  door's event loop for every queued client.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Set, Tuple
+
+from .registry import Finding, rule
+
+#: Pool entry points whose payload arguments must pickle.
+_PAYLOAD_CALLS = frozenset({"submit", "map_tasks", "run_task"})
+
+#: ``subprocess`` functions that block until the child exits.
+_SUBPROCESS_BLOCKING = frozenset(
+    {"run", "call", "check_call", "check_output"}
+)
+
+
+def _call_name(func: ast.AST) -> str:
+    """The trailing identifier of a call target (``a.b.c()`` -> ``c``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _mentions_lock(expr: ast.AST) -> bool:
+    """True when a ``with`` context expression looks like a lock."""
+    for node in ast.walk(expr):
+        name = ""
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if "lock" in name.lower():
+            return True
+    return False
+
+
+def _functions(tree: ast.AST) -> List[ast.AST]:
+    """Every function definition in the module, nested ones included."""
+    return [
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+@rule(
+    "SRC801",
+    "fork-unsafe-global",
+    "error",
+    "module-level state rebound outside a lock (fork-server hazard)",
+    requires=("source",),
+    artifact="source",
+)
+def check_fork_unsafe_globals(target, config) -> Iterator[Finding]:
+    source = target.source
+    for function in _functions(source.tree):
+        declared: Set[str] = set()
+        for statement in ast.walk(function):
+            if isinstance(statement, ast.Global):
+                declared.update(statement.names)
+        if not declared:
+            continue
+        yield from _unguarded_rebinds(
+            source, function, function.name, declared, in_lock=False
+        )
+
+
+def _unguarded_rebinds(
+    source, node, function_name: str, declared: Set[str], in_lock: bool
+) -> Iterator[Finding]:
+    """Walk a function body tracking ``with <lock>`` nesting."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested functions are visited independently
+        child_in_lock = in_lock
+        if isinstance(child, (ast.With, ast.AsyncWith)):
+            if any(
+                _mentions_lock(item.context_expr) for item in child.items
+            ):
+                child_in_lock = True
+        rebound: List[str] = []
+        if isinstance(child, ast.Assign):
+            targets = child.targets
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        else:
+            targets = []
+        for assign_target in targets:
+            for leaf in ast.walk(assign_target):
+                if isinstance(leaf, ast.Name) and leaf.id in declared:
+                    rebound.append(leaf.id)
+        if rebound and not child_in_lock:
+            if not source.suppressed(child.lineno, "SRC801"):
+                yield Finding(
+                    location=f"line {child.lineno}",
+                    message=(
+                        f"function {function_name!r} rebinds module "
+                        f"global(s) {', '.join(sorted(set(rebound)))} "
+                        f"outside a lock"
+                    ),
+                    hint="guard the rebind with the owning lock or add "
+                         "'# lint: allow SRC801' with a justification",
+                )
+        yield from _unguarded_rebinds(
+            source, child, function_name, declared, child_in_lock
+        )
+
+
+@rule(
+    "SRC802",
+    "unpicklable-payload",
+    "error",
+    "pool task payload that cannot cross the pickle boundary",
+    requires=("source",),
+    artifact="source",
+)
+def check_unpicklable_payloads(target, config) -> Iterator[Finding]:
+    source = target.source
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node.func) not in _PAYLOAD_CALLS:
+            continue
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        for argument in arguments:
+            for leaf in ast.walk(argument):
+                culprit = ""
+                if isinstance(leaf, ast.Lambda):
+                    culprit = "a lambda"
+                elif isinstance(leaf, ast.GeneratorExp):
+                    culprit = "a generator expression"
+                elif (
+                    isinstance(leaf, ast.Call)
+                    and _call_name(leaf.func) == "open"
+                ):
+                    culprit = "an open file handle"
+                if not culprit:
+                    continue
+                if source.suppressed(node.lineno, "SRC802"):
+                    continue
+                yield Finding(
+                    location=f"line {node.lineno}",
+                    message=(
+                        f"{_call_name(node.func)}() payload contains "
+                        f"{culprit}, which cannot pickle into a worker"
+                    ),
+                    hint="pass a registered task name plus plain data "
+                         "(lists, not generators) instead",
+                )
+
+
+def _is_main_guard(statement: ast.stmt) -> bool:
+    """``if __name__ == "__main__":`` (either operand order)."""
+    if not isinstance(statement, ast.If):
+        return False
+    test = statement.test
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left] + list(test.comparators)
+    has_name = any(
+        isinstance(op, ast.Name) and op.id == "__name__"
+        for op in operands
+    )
+    has_literal = any(
+        isinstance(op, ast.Constant) and op.value == "__main__"
+        for op in operands
+    )
+    return has_name and has_literal
+
+
+def _script_entry(statement: ast.stmt) -> str:
+    """Why a top-level statement makes the module a script ('' if not)."""
+    if isinstance(statement, ast.Raise) and statement.exc is not None:
+        exc = statement.exc
+        name = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(name, ast.Name) and name.id == "SystemExit":
+            return "raises SystemExit"
+    for node in ast.walk(statement):
+        if not isinstance(node, ast.Call):
+            continue
+        call = _call_name(node.func)
+        if isinstance(node.func, ast.Name) and call == "main":
+            return "calls main()"
+        if call == "exit" and isinstance(node.func, ast.Attribute):
+            return "calls sys.exit()"
+        if call == "parse_args":
+            return "parses command-line arguments"
+    return ""
+
+
+@rule(
+    "SRC803",
+    "missing-main-guard",
+    "error",
+    "script-level code outside an `if __name__ == '__main__'` guard",
+    requires=("source",),
+    artifact="source",
+)
+def check_missing_main_guard(target, config) -> Iterator[Finding]:
+    source = target.source
+    if os.path.basename(source.path) == "__main__.py":
+        return  # only ever executed as the entry module
+    for statement in source.tree.body:
+        if _is_main_guard(statement):
+            continue
+        if isinstance(
+            statement,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+             ast.Import, ast.ImportFrom),
+        ):
+            continue
+        reason = _script_entry(statement)
+        if not reason:
+            continue
+        if source.suppressed(statement.lineno, "SRC803"):
+            continue
+        yield Finding(
+            location=f"line {statement.lineno}",
+            message=(
+                f"top-level statement {reason} outside a __main__ "
+                f"guard; spawn workers re-execute it on import"
+            ),
+            hint="wrap it in `if __name__ == \"__main__\":`",
+        )
+
+
+def _time_sleep_alias(tree: ast.AST) -> bool:
+    """True when the module does ``from time import sleep``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            if any(alias.name == "sleep" for alias in node.names):
+                return True
+    return False
+
+
+def _blocking_reason(node: ast.Call, bare_sleep: bool) -> str:
+    """Why a call blocks the event loop ('' when it does not)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        owner = value.id if isinstance(value, ast.Name) else ""
+        if owner == "time" and func.attr == "sleep":
+            return "time.sleep() blocks the event loop"
+        if owner == "os" and func.attr == "system":
+            return "os.system() blocks the event loop"
+        if owner == "subprocess" and func.attr in _SUBPROCESS_BLOCKING:
+            return f"subprocess.{func.attr}() blocks the event loop"
+        if func.attr == "result":
+            return (
+                ".result() is a synchronous pool/future wait; "
+                "await asyncio.wrap_future(...) instead"
+            )
+    elif isinstance(func, ast.Name):
+        if bare_sleep and func.id == "sleep":
+            return "time.sleep() blocks the event loop"
+    return ""
+
+
+def _async_calls(
+    function: ast.AsyncFunctionDef,
+) -> Iterator[Tuple[ast.Call, ast.AST]]:
+    """Calls lexically inside the coroutine (nested sync defs excluded)."""
+    stack: List[ast.AST] = [function]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Call):
+                yield child, node
+            stack.append(child)
+
+
+@rule(
+    "SRC804",
+    "blocking-in-async",
+    "error",
+    "synchronous blocking call inside an async def coroutine",
+    requires=("source",),
+    artifact="source",
+)
+def check_blocking_in_async(target, config) -> Iterator[Finding]:
+    source = target.source
+    bare_sleep = _time_sleep_alias(source.tree)
+    for function in _functions(source.tree):
+        if not isinstance(function, ast.AsyncFunctionDef):
+            continue
+        for call, _parent in _async_calls(function):
+            reason = _blocking_reason(call, bare_sleep)
+            if not reason:
+                continue
+            if source.suppressed(call.lineno, "SRC804"):
+                continue
+            yield Finding(
+                location=f"line {call.lineno}",
+                message=(
+                    f"coroutine {function.name!r}: {reason}"
+                ),
+                hint="use the asyncio equivalent or push the work "
+                     "into the pool",
+            )

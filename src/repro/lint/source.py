@@ -1,0 +1,100 @@
+"""Python-source lint targets for the SRC8xx self-analysis family.
+
+The service layer (fork-server pool, async front door) made a class of
+hazards real that no DDG rule can see: module state mutated in workers,
+payloads that cannot pickle, scripts that re-execute on ``spawn``
+import, blocking calls inside coroutines.  The SRC8xx rules analyze the
+repro codebase itself — a :class:`SourceFile` is the lint artifact, an
+``ast`` tree the graph.
+
+Findings can be suppressed in place with a pragma comment on the
+flagged line (or the line directly above it)::
+
+    _WARM = True  # lint: allow SRC801
+
+which mirrors how the DDG rules are silenced per-run with ``--disable``
+but survives in the source where the justification belongs.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\s+([A-Z0-9,\s]+)")
+
+
+@dataclass
+class SourceFile:
+    """One Python file under self-analysis.
+
+    The AST is parsed lazily and memoized; a syntax error surfaces as a
+    rule crash (``LINT001``), which is the right severity for a file
+    the interpreter itself would reject.
+    """
+
+    path: str
+    text: str
+    _tree: Optional[ast.AST] = field(default=None, repr=False)
+    _lines: Optional[List[str]] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        """Display name (the path as given)."""
+        return self.path
+
+    @property
+    def tree(self) -> ast.AST:
+        """The parsed module AST (cached)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=self.path)
+        return self._tree
+
+    @property
+    def lines(self) -> List[str]:
+        """Source lines for pragma lookups (cached)."""
+        if self._lines is None:
+            self._lines = self.text.splitlines()
+        return self._lines
+
+    def suppressed(self, lineno: int, code: str) -> bool:
+        """True when a ``# lint: allow CODE`` pragma covers ``lineno``."""
+        for line_index in (lineno - 1, lineno - 2):
+            if 0 <= line_index < len(self.lines):
+                match = _PRAGMA.search(self.lines[line_index])
+                if match and code in match.group(1):
+                    return True
+        return False
+
+
+def load_source_file(path: str, root: str = "") -> SourceFile:
+    """Read one file into a :class:`SourceFile` with a repo-relative name."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    display = os.path.relpath(path, root) if root else path
+    return SourceFile(path=display.replace(os.sep, "/"), text=text)
+
+
+def collect_source_files(paths: Iterable[str]) -> List[SourceFile]:
+    """Expand files and directories into sorted :class:`SourceFile` s.
+
+    Directories are walked recursively for ``*.py`` (skipping
+    ``__pycache__``); explicit file paths are taken as given.  Order is
+    deterministic so reports and SARIF output are stable.
+    """
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        found.append(os.path.join(dirpath, filename))
+        else:
+            found.append(path)
+    return [load_source_file(path) for path in sorted(set(found))]

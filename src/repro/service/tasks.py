@@ -20,6 +20,8 @@ Registered tasks:
     One experiment-engine chunk (:func:`repro.analysis.engine._run_chunk`).
 ``lint_loop``
     Deep-lint one loop (the ``repro lint --workers`` unit).
+``lint_source``
+    SRC8xx self-lint one Python file (``repro lint --src --workers``).
 ``certify_loop``
     Compile + certify one loop (the ``repro certify --workers`` unit).
 ``compile_batch``
@@ -30,6 +32,7 @@ Registered tasks:
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable, Dict, List, Tuple
 
 # Imported eagerly so fork-server children inherit a warm interpreter
@@ -48,16 +51,25 @@ VARIANTS: Dict[str, AssignmentConfig] = {
 
 _PRESETS: Dict[str, Machine] = {}
 _WARM = False
+_WARM_LOCK = threading.Lock()
 
 
 def prewarm() -> None:
-    """Build every standard machine preset once (idempotent)."""
+    """Build every standard machine preset once (idempotent).
+
+    Lock-guarded double-checked warm-up: the front door's threads and
+    a worker's first task may race here, and the SRC801 self-lint
+    rightly refuses unguarded rebinds of module globals.
+    """
     global _WARM
     if _WARM:
         return
-    for name, build in STANDARD_PRESETS.items():
-        _PRESETS[name] = build()
-    _WARM = True
+    with _WARM_LOCK:
+        if _WARM:
+            return
+        for name, build in STANDARD_PRESETS.items():
+            _PRESETS[name] = build()
+        _WARM = True
 
 
 def resolve_machine(ref) -> Machine:
@@ -120,6 +132,15 @@ def lint_loop(payload):
     return lint_loop_deep(ddg, machine, config, variant)
 
 
+def lint_source(payload):
+    """SRC8xx-lint one source file: payload is (name, text, config)."""
+    from ..lint import lint_source_file
+    from ..lint.source import SourceFile
+
+    name, text, config = payload
+    return lint_source_file(SourceFile(path=name, text=text), config)
+
+
 def certify_loop(payload):
     """Compile + certify one loop into a lint-style report."""
     from ..certify.gate import certify_loop_report
@@ -174,6 +195,7 @@ TASKS: Dict[str, Callable] = {
     "sleep": sleep,
     "engine_chunk": engine_chunk,
     "lint_loop": lint_loop,
+    "lint_source": lint_source,
     "certify_loop": certify_loop,
     "compile_batch": compile_batch,
 }

@@ -111,6 +111,132 @@ class TestLintCommand:
             assert doc["summary"]["errors"] == 0
 
 
+BAD_SOURCE = """\
+_CACHE = {}
+
+
+def refresh():
+    global _CACHE
+    _CACHE = {}
+"""
+
+
+class TestRuleSelection:
+    def test_rule_prefix_scopes_the_run(
+        self, defective_loop_file, capsys
+    ):
+        # The loop carries a DDG103 defect, but a DF7-only run must
+        # not see it...
+        rc = main([
+            "lint", defective_loop_file, "--fast", "--rule", "DF7",
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        # ...while selecting its own family keeps the gate shut.
+        rc = main([
+            "lint", defective_loop_file, "--fast", "--rule", "DDG1",
+        ])
+        capsys.readouterr()
+        assert rc == 1
+
+    def test_rule_accepts_exact_codes_and_repeats(
+        self, defective_loop_file, capsys
+    ):
+        rc = main([
+            "lint", defective_loop_file, "--fast", "--format", "json",
+            "--rule", "DDG103", "--rule", "DF701",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        by_severity = {}
+        for d in doc["diagnostics"]:
+            by_severity.setdefault(d["severity"], set()).add(d["code"])
+        # Both selected codes ran -- and nothing else did: the cycle is
+        # a DDG103 error, and its never-stored values are DF701 infos.
+        assert by_severity == {
+            "error": {"DDG103"}, "info": {"DF701"},
+        }
+
+
+class TestSourceLint:
+    def test_src_flag_lints_python_files(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE)
+        rc = main([
+            "lint", "--src", str(bad), "--format", "json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert {d["code"] for d in doc["diagnostics"]} == {"SRC801"}
+        # A source-only run must not balloon into a corpus lint.
+        assert doc["summary"]["targets"] == 1
+
+    def test_src_directory_walk(self, tmp_path, capsys):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "good.py").write_text("WIDTH = 4\n")
+        (package / "bad.py").write_text(BAD_SOURCE)
+        rc = main(["lint", "--src", str(package)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "SRC801" in out
+        assert "2 target(s)" in out
+
+
+@pytest.fixture
+def scratch_repo(tmp_path, monkeypatch):
+    """An initialized git repo with one committed clean source file."""
+    import subprocess
+
+    monkeypatch.chdir(tmp_path)
+    env = {
+        "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+        "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+    }
+    subprocess.run(["git", "init", "-q"], check=True)
+    (tmp_path / "clean.py").write_text("WIDTH = 4\n")
+    subprocess.run(["git", "add", "clean.py"], check=True)
+    subprocess.run(
+        ["git", "commit", "-q", "-m", "seed"],
+        check=True,
+        env={**__import__("os").environ, **env},
+    )
+    return tmp_path
+
+
+class TestChangedScope:
+    def test_changed_lints_modified_python(self, scratch_repo, capsys):
+        (scratch_repo / "clean.py").write_text(BAD_SOURCE)
+        rc = main(["lint", "--changed", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert {d["code"] for d in doc["diagnostics"]} == {"SRC801"}
+
+    def test_changed_picks_up_untracked_loops(
+        self, scratch_repo, capsys
+    ):
+        (scratch_repo / "cycle.loop").write_text(DEFECTIVE_LOOP)
+        rc = main([
+            "lint", "--changed", "--fast", "--format", "json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert "DDG103" in {d["code"] for d in doc["diagnostics"]}
+
+    def test_clean_diff_short_circuits(self, scratch_repo, capsys):
+        rc = main(["lint", "--changed"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "nothing lintable" in out
+
+    def test_changed_against_explicit_ref(self, scratch_repo, capsys):
+        (scratch_repo / "clean.py").write_text(BAD_SOURCE)
+        rc = main(["lint", "--changed", "HEAD", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert {d["code"] for d in doc["diagnostics"]} == {"SRC801"}
+
+
 class TestCompileGate:
     def test_compile_with_lint_reports(self, clean_loop_file, capsys):
         rc = main([

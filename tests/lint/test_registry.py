@@ -13,10 +13,10 @@ from repro.lint import (
 )
 
 CODE_PATTERN = re.compile(
-    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6)\d\d$"
+    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6|DF7|SRC8)\d\d$"
 )
 
-KNOWN_ARTIFACTS = {"graph", "machine", "annotated", "schedule"}
+KNOWN_ARTIFACTS = {"graph", "machine", "annotated", "schedule", "source"}
 
 
 class TestRegistry:
@@ -36,7 +36,7 @@ class TestRegistry:
     def test_rule_count_is_stable(self):
         # Adding a rule is fine -- bump this count alongside the
         # docs/LINTING.md catalog so they cannot drift apart.
-        assert len(all_rules()) == 45
+        assert len(all_rules()) == 54
 
     def test_family_property_matches_prefix(self):
         for rule in all_rules():
@@ -53,14 +53,16 @@ class TestRegistry:
             assert rule.description
 
     def test_default_off_rules(self):
-        # The differential cross-check and the whole certificate
-        # family are opt-in (both recompile / re-derive everything).
+        # The differential cross-check, the whole certificate family,
+        # and the dataflow MII-floor cross-check are opt-in (all
+        # recompile / re-derive everything).
         off = {r.code for r in all_rules() if not r.default_enabled}
         assert "SCHED490" in off
-        assert off - {"SCHED490"} == {
+        assert "DF705" in off
+        assert off - {"SCHED490", "DF705"} == {
             code for code in off if code.startswith("CERT6")
         }
-        assert len(off) == 9
+        assert len(off) == 10
 
 
 class TestLintConfig:
@@ -81,6 +83,24 @@ class TestLintConfig:
             enable=frozenset({"SCHED490"}),
         )
         assert not config.is_enabled(self._rule("SCHED490"))
+
+    def test_select_restricts_to_prefix(self):
+        config = LintConfig(select=frozenset({"DF7"}))
+        assert config.is_enabled(self._rule("DF701"))
+        assert not config.is_enabled(self._rule("DDG101"))
+
+    def test_select_matches_exact_code(self):
+        config = LintConfig(select=frozenset({"DF705"}))
+        assert config.is_enabled(self._rule("DF705"))
+        assert not config.is_enabled(self._rule("DF701"))
+
+    def test_select_implies_enablement_but_disable_wins(self):
+        config = LintConfig(select=frozenset({"SCHED490"}))
+        assert config.is_enabled(self._rule("SCHED490"))
+        config = LintConfig(
+            select=frozenset({"DF7"}), disable=frozenset({"DF701"})
+        )
+        assert not config.is_enabled(self._rule("DF701"))
 
     def test_severity_override(self):
         config = LintConfig(severity={"DDG105": "error"})

@@ -57,7 +57,8 @@ SARIF_SCHEMA = {
                                                     "pattern": (
                                                         "^(DDG1|MACH2|"
                                                         "ASSIGN3|SCHED4|"
-                                                        "REG5|CERT6)"
+                                                        "REG5|CERT6|"
+                                                        "DF7|SRC8)"
                                                         "[0-9]{2}$"
                                                     ),
                                                 },

@@ -1,0 +1,260 @@
+"""Seeded defects for the DF7xx dataflow rule family.
+
+Each test plants exactly one defect class and asserts the matching
+stable code fires (and nothing else from the family).  Where sibling
+families would legitimately fire on the same corrupt artifact, the run
+is scoped with ``LintConfig(select=...)`` — which doubles as coverage
+for prefix selection.
+"""
+
+from repro.core import compile_loop
+from repro.ddg import AnnotatedDdg, Ddg, Opcode, build_ddg
+from repro.lint import LintConfig, LintTarget, lint_target
+from repro.machine import (
+    ClusterSpec,
+    Machine,
+    NoInterconnect,
+    PointToPointInterconnect,
+    fs_units,
+    gp_units,
+)
+
+
+def _codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+class TestDeadValue:
+    def test_df701_flags_dead_chain(self, two_gp):
+        graph = Ddg(name="half-dead")
+        load = graph.add_node(Opcode.LOAD, name="ld")
+        live = graph.add_node(Opcode.ALU, name="live")
+        dead = graph.add_node(Opcode.ALU, name="dead")
+        store = graph.add_node(Opcode.STORE, name="st")
+        graph.add_edge(load, live)
+        graph.add_edge(live, store)
+        graph.add_edge(load, dead)
+        report = lint_target(
+            LintTarget(name=graph.name, ddg=graph, machine=two_gp)
+        )
+        assert report.ok  # dead code is informational, not gating
+        assert _codes(report.infos) == ["DF701"]
+        assert f"node {dead}" == report.infos[0].location
+
+    def test_clean_graph_stays_silent(self, chain3, two_gp):
+        report = lint_target(
+            LintTarget(name=chain3.name, ddg=chain3, machine=two_gp)
+        )
+        assert "DF701" not in report.codes()
+
+
+class TestUnreachableConsumer:
+    def _islanded_fs_machine(self):
+        """The float-only cluster 1 is off the fabric: the only link
+        connects the memory cluster 0 to the integer cluster 2."""
+        return Machine(
+            clusters=(
+                ClusterSpec(0, fs_units(1, 1, 0)),
+                ClusterSpec(1, fs_units(0, 0, 1)),
+                ClusterSpec(2, fs_units(0, 2, 0)),
+            ),
+            interconnect=PointToPointInterconnect(links=[(0, 2)]),
+            name="islanded-fs",
+        )
+
+    def test_df702_fires_before_assignment(self):
+        graph = build_ddg(
+            ops=[("ld", Opcode.LOAD), ("fma", Opcode.FP_ADD)],
+            deps=[("ld", "fma", 0)],
+            name="doomed",
+        )
+        machine = self._islanded_fs_machine()
+        report = lint_target(
+            LintTarget(name=graph.name, ddg=graph, machine=machine),
+            LintConfig(select=frozenset({"DF702"})),
+        )
+        assert _codes(report.errors) == ["DF702"]
+        assert len(report.errors) == 1
+        assert "can never reach" in report.errors[0].message
+
+    def test_connected_pair_passes(self, two_fs):
+        graph = build_ddg(
+            ops=[("ld", Opcode.LOAD), ("fma", Opcode.FP_ADD)],
+            deps=[("ld", "fma", 0)],
+            name="routable",
+        )
+        report = lint_target(
+            LintTarget(name=graph.name, ddg=graph, machine=two_fs),
+            LintConfig(select=frozenset({"DF702"})),
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestCopyReach:
+    def _machine(self):
+        return Machine(
+            clusters=(
+                ClusterSpec(0, gp_units(4)),
+                ClusterSpec(1, gp_units(4)),
+            ),
+            interconnect=PointToPointInterconnect(links=[(0, 1)]),
+            name="pair-p2p",
+        )
+
+    def test_df703_unfed_copy(self):
+        # The copy claims to carry 'a' but no value path feeds it.
+        graph = Ddg(name="orphan-copy")
+        a = graph.add_node(Opcode.ALU, name="a")
+        cp = graph.add_node(Opcode.COPY, name="cp")
+        b = graph.add_node(Opcode.ALU, name="b")
+        graph.add_edge(cp, b)
+        annotated = AnnotatedDdg(
+            ddg=graph,
+            machine=self._machine(),
+            cluster_of={a: 0, cp: 0, b: 1},
+            copy_targets={cp: (1,)},
+            copy_value_of={cp: a},
+        )
+        report = lint_target(
+            LintTarget(name=graph.name, annotated=annotated),
+            LintConfig(select=frozenset({"DF703"})),
+        )
+        assert _codes(report.errors) == ["DF703"]
+        assert any(
+            "no value path feeds it" in d.message for d in report.errors
+        )
+
+    def test_df703_undelivered_consumer(self):
+        # Consumer reads on cluster 1 but the chain's only carrier
+        # delivers into cluster 0.
+        graph = Ddg(name="undelivered")
+        a = graph.add_node(Opcode.ALU, name="a")
+        b = graph.add_node(Opcode.ALU, name="b")
+        graph.add_edge(a, b)
+        annotated = AnnotatedDdg(
+            ddg=graph,
+            machine=self._machine(),
+            cluster_of={a: 0, b: 1},
+        )
+        # No copies at all: nothing carries 'a' into cluster 1.  The
+        # chain analysis keys off copy_value_of, so register a phantom
+        # copy-free chain by faking one unconsumed copy of 'a'.
+        cp = graph.add_node(Opcode.COPY, name="cp")
+        graph.add_edge(a, cp)
+        annotated.cluster_of[cp] = 0
+        annotated.copy_targets[cp] = (0,)
+        annotated.copy_value_of[cp] = a
+        report = lint_target(
+            LintTarget(name=graph.name, annotated=annotated),
+            LintConfig(select=frozenset({"DF703"})),
+        )
+        codes = _codes(report.errors)
+        assert codes == ["DF703"]
+        assert any(
+            "which no carrier delivers to" in d.message
+            for d in report.errors
+        )
+
+    def test_df703_unreachable_hop(self):
+        graph = Ddg(name="bad-hop")
+        a = graph.add_node(Opcode.ALU, name="a")
+        cp = graph.add_node(Opcode.COPY, name="cp")
+        b = graph.add_node(Opcode.ALU, name="b")
+        graph.add_edge(a, cp)
+        graph.add_edge(cp, b)
+        machine = Machine(
+            clusters=(
+                ClusterSpec(0, gp_units(4)),
+                ClusterSpec(1, gp_units(4)),
+                ClusterSpec(2, gp_units(4)),
+            ),
+            interconnect=PointToPointInterconnect(links=[(0, 1)]),
+            name="triple",
+        )
+        annotated = AnnotatedDdg(
+            ddg=graph,
+            machine=machine,
+            cluster_of={a: 0, cp: 0, b: 2},
+            copy_targets={cp: (2,)},
+            copy_value_of={cp: a},
+        )
+        report = lint_target(
+            LintTarget(name=graph.name, annotated=annotated),
+            LintConfig(select=frozenset({"DF703"})),
+        )
+        assert _codes(report.errors) == ["DF703"]
+        assert any(
+            "interconnect cannot carry" in d.message
+            for d in report.errors
+        )
+
+    def test_df703_clean_on_compiled_corpus_loop(self, chain3, two_gp):
+        compiled = compile_loop(chain3, two_gp)
+        report = lint_target(
+            LintTarget(name=chain3.name, annotated=compiled.annotated),
+            LintConfig(select=frozenset({"DF703"})),
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestRegisterPressure:
+    def _tiny_regfile_machine(self, registers):
+        return Machine(
+            clusters=(
+                ClusterSpec(0, gp_units(8), register_file=registers),
+            ),
+            interconnect=NoInterconnect(),
+            name=f"uni8-r{registers}",
+        )
+
+    def test_df704_overflow_is_an_error(self, chain3):
+        machine = self._tiny_regfile_machine(1)
+        compiled = compile_loop(chain3, machine)
+        report = lint_target(
+            LintTarget(name=chain3.name, schedule=compiled.schedule),
+            LintConfig(select=frozenset({"DF704"})),
+        )
+        assert _codes(report.errors) == ["DF704"]
+        assert "cluster 0" == report.errors[0].location
+
+    def test_df704_silent_when_file_fits(self, chain3):
+        machine = self._tiny_regfile_machine(64)
+        compiled = compile_loop(chain3, machine)
+        report = lint_target(
+            LintTarget(name=chain3.name, schedule=compiled.schedule),
+            LintConfig(select=frozenset({"DF704"})),
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_df704_exempts_unbounded_files(self, chain3, uni8):
+        compiled = compile_loop(chain3, uni8)
+        report = lint_target(
+            LintTarget(name=chain3.name, schedule=compiled.schedule),
+            LintConfig(select=frozenset({"DF704"})),
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestIiBelowFloor:
+    def test_df705_fires_on_cached_floor_mismatch(
+        self, compiled_chain
+    ):
+        # Pre-seed the memoized floor above the achieved II: the rule
+        # must trust the (corrupted) cache and flag the schedule.
+        target = LintTarget(
+            name="chain3", schedule=compiled_chain.schedule
+        )
+        target.cache["df_mii_floor"] = compiled_chain.ii + 1
+        report = lint_target(
+            target, LintConfig(select=frozenset({"DF705"}))
+        )
+        assert _codes(report.errors) == ["DF705"]
+
+    def test_df705_clean_on_real_compile(self, compiled_chain):
+        report = lint_target(
+            LintTarget(
+                name="chain3", schedule=compiled_chain.schedule
+            ),
+            LintConfig(select=frozenset({"DF705"})),
+        )
+        assert report.ok and not report.diagnostics

@@ -1,0 +1,271 @@
+"""Seeded defects for the SRC8xx self-analysis rule family.
+
+One deliberately bad module exercises every rule; the surrounding
+tests pin the escape hatches (lock guards, pragmas, ``__main__.py``)
+and the acceptance contract that the real ``src/`` tree self-lints
+clean.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import (
+    LintConfig,
+    SourceFile,
+    lint_source_file,
+    lint_source_paths,
+)
+
+_SRC_ROOT = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _lint_text(text, path="module.py"):
+    return lint_source_file(
+        SourceFile(path=path, text=textwrap.dedent(text))
+    )
+
+
+def _codes(report):
+    return sorted({d.code for d in report.errors})
+
+
+class TestForkUnsafeGlobal:
+    def test_unguarded_rebind_fires(self):
+        report = _lint_text(
+            """
+            _CACHE = {}
+
+
+            def refresh():
+                global _CACHE
+                _CACHE = {}
+            """
+        )
+        assert _codes(report) == ["SRC801"]
+        assert "_CACHE" in report.errors[0].message
+
+    def test_lock_guarded_rebind_passes(self):
+        report = _lint_text(
+            """
+            import threading
+
+            _CACHE = {}
+            _LOCK = threading.Lock()
+
+
+            def refresh():
+                global _CACHE
+                with _LOCK:
+                    _CACHE = {}
+            """
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_pragma_suppresses_with_justification(self):
+        report = _lint_text(
+            """
+            _MODE = "idle"
+
+
+            def set_mode(mode):
+                global _MODE
+                # single-threaded CLI startup  # lint: allow SRC801
+                _MODE = mode
+            """
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_nested_function_rebind_attributed_to_inner(self):
+        report = _lint_text(
+            """
+            _N = 0
+
+
+            def outer():
+                def inner():
+                    global _N
+                    _N = 1
+                return inner
+            """
+        )
+        assert _codes(report) == ["SRC801"]
+        assert "'inner'" in report.errors[0].message
+
+
+class TestUnpicklablePayload:
+    def test_lambda_and_generator_payloads_fire(self):
+        report = _lint_text(
+            """
+            def schedule(pool, loops):
+                pool.submit("task", lambda x: x + 1)
+                pool.map_tasks("task", (l for l in loops))
+            """
+        )
+        assert _codes(report) == ["SRC802"]
+        assert len(report.errors) == 2
+        assert "lambda" in report.errors[0].message
+        assert "generator" in report.errors[1].message
+
+    def test_open_handle_payload_fires(self):
+        report = _lint_text(
+            """
+            def schedule(pool):
+                pool.run_task("task", open("data.bin", "rb"))
+            """
+        )
+        assert _codes(report) == ["SRC802"]
+        assert "open file handle" in report.errors[0].message
+
+    def test_plain_data_payload_passes(self):
+        report = _lint_text(
+            """
+            def schedule(pool, loops):
+                pool.map_tasks("task", [(l.name, l) for l in loops])
+            """
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestMissingMainGuard:
+    def test_bare_main_call_fires(self):
+        report = _lint_text(
+            """
+            import sys
+
+
+            def main():
+                return 0
+
+
+            sys.exit(main())
+            """
+        )
+        assert _codes(report) == ["SRC803"]
+
+    def test_guarded_entry_passes(self):
+        report = _lint_text(
+            """
+            import sys
+
+
+            def main():
+                return 0
+
+
+            if __name__ == "__main__":
+                sys.exit(main())
+            """
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_dunder_main_module_is_exempt(self):
+        report = _lint_text(
+            """
+            import sys
+
+
+            def main():
+                return 0
+
+
+            sys.exit(main())
+            """,
+            path="repro/__main__.py",
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_plain_module_constants_pass(self):
+        report = _lint_text(
+            """
+            WIDTH = 4
+            NAMES = sorted(["a", "b"])
+            """
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestBlockingInAsync:
+    def test_time_sleep_in_coroutine_fires(self):
+        report = _lint_text(
+            """
+            import time
+
+
+            async def serve(queue):
+                time.sleep(0.1)
+            """
+        )
+        assert _codes(report) == ["SRC804"]
+        assert "time.sleep()" in report.errors[0].message
+
+    def test_future_result_wait_fires(self):
+        report = _lint_text(
+            """
+            async def gather(handle):
+                return handle.result()
+            """
+        )
+        assert _codes(report) == ["SRC804"]
+        assert ".result()" in report.errors[0].message
+
+    def test_bare_sleep_alias_fires(self):
+        report = _lint_text(
+            """
+            from time import sleep
+
+
+            async def serve():
+                sleep(1)
+            """
+        )
+        assert _codes(report) == ["SRC804"]
+
+    def test_sync_helper_nested_in_coroutine_is_exempt(self):
+        report = _lint_text(
+            """
+            import time
+
+
+            async def serve():
+                def warm():
+                    time.sleep(0.1)
+                return warm
+            """
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_sleep_in_plain_function_passes(self):
+        report = _lint_text(
+            """
+            import time
+
+
+            def pace():
+                time.sleep(0.1)
+            """
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestSyntaxErrorContainment:
+    def test_unparsable_file_is_a_rule_crash_not_an_exception(self):
+        report = lint_source_file(
+            SourceFile(path="broken.py", text="def broken(:\n")
+        )
+        assert not report.ok
+        assert all(d.code == "LINT001" for d in report.errors)
+
+
+class TestSelfLint:
+    def test_repro_sources_are_src_clean(self):
+        # The acceptance criterion: the SRC8xx family passes on the
+        # codebase that motivated it.
+        report = lint_source_paths(
+            [_SRC_ROOT],
+            LintConfig(select=frozenset({"SRC8"})),
+        )
+        assert report.n_targets > 50  # the walk actually found the tree
+        assert report.ok, [
+            f"{d.loop}:{d.location} {d.code} {d.message}"
+            for d in report.errors
+        ]
