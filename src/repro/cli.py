@@ -703,6 +703,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             for source in sources:
                 report.extend(lint_source_file(source, config))
+        # Interprocedural pass: one project target over all the source
+        # files, only when some CONC9xx rule is actually enabled (a
+        # ``--rule SRC8`` run must not pay for the call graph).
+        from .lint import lint_project
+        from .lint.registry import applicable_rules
+
+        if applicable_rules(config, frozenset(("project",))):
+            report.extend(
+                lint_project(
+                    sources, config, cache_dir=args.analysis_cache
+                )
+            )
+    if args.write_baseline:
+        from .lint import write_baseline
+
+        count = write_baseline(args.write_baseline, report.diagnostics)
+        print(
+            f"wrote {args.write_baseline} ({count} baselined "
+            f"error fingerprint(s))"
+        )
+        return 0
+    if args.baseline:
+        from .lint import apply_baseline, load_baseline
+
+        demoted = apply_baseline(report, load_baseline(args.baseline))
+        if demoted:
+            # stderr so machine-readable stdout (json/sarif) stays pure.
+            print(
+                f"baseline {args.baseline}: demoted {len(demoted)} "
+                f"known finding(s) to warning",
+                file=sys.stderr,
+            )
     rendered = render(report, args.format)
     if args.output:
         with open(args.output, "w") as handle:
@@ -1112,6 +1144,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--exit-zero", action="store_true",
         help="always exit 0, even with error-severity findings "
              "(report-only CI runs)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="demote error findings fingerprinted in FILE to warnings "
+             "(warn-first adoption of new rule families)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="record the run's error fingerprints into FILE and exit 0 "
+             "instead of rendering a report",
+    )
+    lint_parser.add_argument(
+        "--analysis-cache", default=None, metavar="DIR",
+        help="incremental cache directory for the interprocedural "
+             "CONC9xx pass (unchanged files and call-graph components "
+             "are not re-analyzed)",
     )
     _add_lint_select_flags(lint_parser)
     lint_parser.set_defaults(func=_cmd_lint)

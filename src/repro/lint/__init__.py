@@ -21,6 +21,22 @@ Entry points:
 * :func:`render` — text / JSON / SARIF 2.1.0 output.
 """
 
+from .anacache import AnalysisCache
+from .baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from .callgraph import (
+    FunctionSummary,
+    ModuleSummary,
+    ProjectAnalysis,
+    build_project,
+    extract_module,
+    link_project,
+    module_name_for,
+)
 from .dataflow import (
     DataflowProblem,
     DataflowResult,
@@ -47,6 +63,7 @@ from .engine import (
     lint_corpus_deep,
     lint_loop_deep,
     lint_machine,
+    lint_project,
     lint_source_file,
     lint_source_paths,
     lint_target,
@@ -73,6 +90,7 @@ from .render import (
 from .source import SourceFile, collect_source_files
 
 __all__ = [
+    "AnalysisCache",
     "CODE_COMPILE_FAILURE",
     "CODE_RULE_CRASH",
     "DEFAULT_CONFIG",
@@ -81,16 +99,27 @@ __all__ = [
     "Diagnostic",
     "FAMILIES",
     "Finding",
+    "FunctionSummary",
     "LintConfig",
     "LintReport",
     "LintTarget",
+    "ModuleSummary",
+    "ProjectAnalysis",
     "Rule",
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
     "SourceFile",
     "all_rules",
+    "apply_baseline",
+    "build_project",
     "collect_source_files",
+    "extract_module",
+    "fingerprint",
+    "link_project",
+    "load_baseline",
+    "module_name_for",
+    "write_baseline",
     "df_mii_floor",
     "df_rec_mii",
     "df_res_mii",
@@ -101,6 +130,7 @@ __all__ = [
     "lint_corpus_deep",
     "lint_loop_deep",
     "lint_machine",
+    "lint_project",
     "lint_source_file",
     "lint_source_paths",
     "lint_target",

@@ -1,0 +1,138 @@
+"""Incremental analysis cache for the project call-graph pass.
+
+Interprocedural analysis is the most expensive lint leg by
+construction — it parses every file and solves fixed points over the
+whole call graph — so it is the first leg that *must* be incremental
+to stay inside the lint gate's 10% budget as the tree grows.  The
+cache has two layers, both content-addressed:
+
+* **file summaries**: ``path -> (sha256 of the text, ModuleSummary
+  document)``.  An unchanged file is never re-parsed; its summary is
+  deserialized straight from the cache.
+* **SCC fixed points**: ``key -> solved values``, where the key hashes
+  the analysis name, the component members' local facts, the
+  intra-component edges, and the boundary values flowing in from
+  upstream components.  Editing one file dirties only the components
+  whose facts or inputs actually changed — everything downstream of an
+  *unchanged* fixed point keys identically and reuses its entry.
+
+Everything is one JSON file (``callgraph-cache.json``) inside the
+cache directory, written atomically via rename so a crashed run can
+never leave a torn cache — at worst the next run re-solves.  A
+format-version stamp invalidates wholesale when the summary schema
+changes.  Stale SCC entries (not touched by the latest run) are
+dropped on save so the file does not grow without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Set
+
+from .callgraph import ModuleSummary
+
+#: Bump when the ModuleSummary document schema or SCC key recipe
+#: changes; mismatched caches are discarded wholesale.
+CACHE_VERSION = 1
+
+CACHE_FILENAME = "callgraph-cache.json"
+
+
+class AnalysisCache:
+    """Two-layer content-addressed cache for :func:`build_project`.
+
+    ``load`` / ``save`` bracket one analysis run; ``get_summary`` /
+    ``put_summary`` serve the extraction layer and ``get_scc`` /
+    ``put_scc`` the fixed-point layer.  A missing or corrupt cache
+    file degrades to an empty cache, never an error.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, CACHE_FILENAME)
+        self._files: Dict[str, Dict] = {}
+        self._sccs: Dict[str, Dict[str, List[str]]] = {}
+        self._touched_sccs: Set[str] = set()
+        self._dirty = False
+        self.load()
+
+    # -- persistence ----------------------------------------------------
+    def load(self) -> None:
+        """Read the cache file; silently start empty when unusable."""
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict) or doc.get("version") != CACHE_VERSION:
+            return
+        files = doc.get("files")
+        sccs = doc.get("sccs")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(sccs, dict):
+            self._sccs = sccs
+
+    def save(self) -> None:
+        """Atomically persist; drops SCC entries unused this run."""
+        live_sccs = {
+            key: self._sccs[key]
+            for key in self._touched_sccs
+            if key in self._sccs
+        }
+        if not self._dirty and live_sccs.keys() == self._sccs.keys():
+            return
+        self._sccs = live_sccs
+        doc = {
+            "version": CACHE_VERSION,
+            "files": self._files,
+            "sccs": self._sccs,
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".cache-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, separators=(",", ":"))
+            os.replace(tmp_path, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        self._dirty = False
+
+    # -- file summaries -------------------------------------------------
+    def get_summary(
+        self, path: str, text_hash: str
+    ) -> Optional[ModuleSummary]:
+        """The cached summary for ``path`` iff the content hash matches."""
+        entry = self._files.get(path)
+        if entry is None or entry.get("hash") != text_hash:
+            return None
+        try:
+            return ModuleSummary.from_doc(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put_summary(
+        self, path: str, text_hash: str, summary: ModuleSummary
+    ) -> None:
+        self._files[path] = {"hash": text_hash, "summary": summary.to_doc()}
+        self._dirty = True
+
+    # -- SCC fixed points -----------------------------------------------
+    def get_scc(self, key: str) -> Optional[Dict[str, List[str]]]:
+        """Cached fixed-point values for an SCC key, if present."""
+        values = self._sccs.get(key)
+        if values is not None:
+            self._touched_sccs.add(key)
+        return values
+
+    def put_scc(self, key: str, values: Dict[str, List[str]]) -> None:
+        self._sccs[key] = values
+        self._touched_sccs.add(key)
+        self._dirty = True

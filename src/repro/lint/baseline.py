@@ -1,0 +1,116 @@
+"""Warn-first adoption baselines for new lint rule families.
+
+Landing a new rule family on a living tree faces a bootstrap problem:
+the first run reports findings in code that predates the rule, and
+gating CI on them would force fixing everything in the same PR that
+introduces the analysis.  A *baseline* file records the fingerprints
+of the findings that existed at adoption time; applying it demotes
+exactly those findings from ``error`` to ``warning`` so they stay
+visible without failing the gate, while any *new* finding — or an old
+one whose message changed — gates at full severity.
+
+Fingerprints hash ``code | loop | message`` and deliberately exclude
+file line numbers: an unrelated edit that shifts a flagged line must
+not un-baseline the finding.  Messages carry qualified names rather
+than positions, so they are stable under reformatting but change when
+the finding itself does — which is the desired behavior.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import replace
+from typing import FrozenSet, Iterable, List
+
+from .diagnostics import SEVERITY_ERROR, SEVERITY_WARNING, Diagnostic
+from .engine import LintReport
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable identity of one finding (line-number-free)."""
+    payload = f"{diagnostic.code}|{diagnostic.loop}|{diagnostic.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: str) -> FrozenSet[str]:
+    """Fingerprints from a baseline file; empty when absent/corrupt."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return frozenset()
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        return frozenset()
+    entries = doc.get("findings", [])
+    if not isinstance(entries, list):
+        return frozenset()
+    return frozenset(
+        entry["fingerprint"]
+        for entry in entries
+        if isinstance(entry, dict) and "fingerprint" in entry
+    )
+
+
+def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
+    """Write a baseline covering the *error*-level diagnostics.
+
+    Warnings and infos never gate, so baselining them would only hide
+    information.  Entries carry the code and message alongside the
+    fingerprint so the checked-in file reviews like a report, not an
+    opaque hash list.  Returns the number of entries written.
+    """
+    entries = []
+    seen = set()
+    for diagnostic in diagnostics:
+        if diagnostic.severity != SEVERITY_ERROR:
+            continue
+        print_ = fingerprint(diagnostic)
+        if print_ in seen:
+            continue
+        seen.add(print_)
+        entries.append(
+            {
+                "fingerprint": print_,
+                "code": diagnostic.code,
+                "loop": diagnostic.loop,
+                "message": diagnostic.message,
+            }
+        )
+    entries.sort(key=lambda entry: (entry["code"], entry["fingerprint"]))
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    report: LintReport, baselined: FrozenSet[str]
+) -> List[Diagnostic]:
+    """Demote baselined errors to warnings, in place on the report.
+
+    Returns the diagnostics that were demoted (for ``--verbose``-style
+    accounting).  Non-error findings and unknown fingerprints pass
+    through untouched, so a baseline can never *hide* a new finding.
+    """
+    if not baselined:
+        return []
+    demoted: List[Diagnostic] = []
+    rewritten: List[Diagnostic] = []
+    for diagnostic in report.diagnostics:
+        if (
+            diagnostic.severity == SEVERITY_ERROR
+            and fingerprint(diagnostic) in baselined
+        ):
+            diagnostic = replace(diagnostic, severity=SEVERITY_WARNING)
+            demoted.append(diagnostic)
+        rewritten.append(diagnostic)
+    report.diagnostics = rewritten
+    return demoted

@@ -1,0 +1,960 @@
+"""Project-level symbol table, call graph, and interprocedural facts.
+
+The SRC8xx rules are deliberately *intraprocedural*: each looks at one
+file's AST in isolation.  That misses exactly the hazards that take a
+service down in production — a sync helper that blocks three calls away
+from a coroutine, a task payload assembled by a factory that closes
+over a lambda, module state mutated by something a pool task reaches
+transitively.  This module builds the whole-program view the ``CONC9xx``
+rules (:mod:`repro.lint.rules_conc`) consume:
+
+* a **symbol table** over every analyzed file — modules, classes,
+  functions and methods under dotted qualified names, plus each
+  module's import bindings (absolute, relative, and aliased);
+* a **call graph** — direct calls, attribute calls through imported
+  modules, ``self.method()`` resolution inside a class, and functions
+  registered as pool *task entry points* (values of a module-level
+  ``str -> function`` registry dict, or callables handed to
+  ``submit``-style dispatchers);
+* **interprocedural fixed points** computed by the generic worklist
+  solver of :mod:`repro.lint.dataflow` over the call graph's SCCs:
+  transitive blocking reachability, task-entry reachability,
+  transitive unpicklable closure of return values, and transitively
+  held locks.
+
+Extraction is *per file* and its result (:class:`ModuleSummary`) is a
+plain JSON document, so the incremental cache
+(:mod:`repro.lint.anacache`) can key it on the file's content hash and
+skip re-parsing unchanged files.  Linking reruns from summaries, and
+each SCC's fixed point is cached under a key derived from its members'
+local facts, its internal edges, and the values flowing in from
+upstream components — so a warm run over an unchanged tree re-solves
+nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ._graph import strongly_connected_components
+from .dataflow import DataflowProblem, SetLattice, solve
+from .source import SourceFile
+
+#: Fully qualified stdlib calls that block the calling thread.
+BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() blocks",
+    "os.system": "os.system() blocks",
+    "subprocess.run": "subprocess.run() blocks",
+    "subprocess.call": "subprocess.call() blocks",
+    "subprocess.check_call": "subprocess.check_call() blocks",
+    "subprocess.check_output": "subprocess.check_output() blocks",
+}
+
+#: Attribute calls that are synchronous waits whoever the owner is.
+BLOCKING_ATTRS = {
+    "result": ".result() is a synchronous future wait",
+}
+
+#: Dispatcher methods whose first callable argument becomes a task
+#: entry point and whose payload arguments must survive pickling.
+TASK_DISPATCH_CALLS = frozenset({"submit", "map_tasks", "run_task"})
+
+#: Dispatchers that move work off the calling thread — the callable
+#: they receive runs elsewhere, so calling *them* never blocks the
+#: caller and their arguments' blocking facts must not propagate.
+EXECUTOR_SHIELDS = frozenset({"run_in_executor", "to_thread"})
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name derived from a file path.
+
+    ``src/repro/lint/engine.py`` -> ``repro.lint.engine`` (everything
+    after the last ``src`` component), ``pkg/__init__.py`` -> ``pkg``.
+    Deterministic, so cached summaries and fresh ones always agree.
+    """
+    parts = [p for p in path.replace("\\", "/").split("/") if p and p != "."]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path
+
+
+def _own_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+# ----------------------------------------------------------------------
+# Per-file summaries (JSON documents; what the incremental cache stores)
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionSummary:
+    """Everything the interprocedural analyses need about one function."""
+
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    #: First decorator's line (== ``lineno`` without decorators); a
+    #: pragma above it covers the whole decorated definition.
+    pragma_lineno: int
+    is_async: bool = False
+    #: Defined inside another function — unpicklable as a task payload.
+    nested: bool = False
+    #: Raw call references ``(lineno, ref)``; refs resolve at link time.
+    calls: List[Tuple[int, List[str]]] = field(default_factory=list)
+    #: Direct blocking operations ``(lineno, reason)``.
+    blocking: List[Tuple[int, str]] = field(default_factory=list)
+    #: Module-global rebinds ``(lineno, name, under_lock)``.
+    global_writes: List[Tuple[int, str, bool]] = field(default_factory=list)
+    #: Reasons this function's return value cannot pickle (direct).
+    returns_unpicklable: List[str] = field(default_factory=list)
+    #: Refs whose call result this function returns (pickle closure).
+    return_calls: List[List[str]] = field(default_factory=list)
+    #: Task dispatch sites ``(lineno, display, name_refs, call_refs)``.
+    payload_sites: List[Tuple[int, str, List[List[str]], List[List[str]]]] = (
+        field(default_factory=list)
+    )
+    #: Function refs this function registers as task entry points.
+    entry_refs: List[List[str]] = field(default_factory=list)
+    #: Explicit ``X.acquire()`` sites ``(lineno, lock_id, guaranteed)``
+    #: where ``guaranteed`` means some release sits in a ``finally``.
+    lock_acquires: List[Tuple[int, str, bool]] = field(default_factory=list)
+    #: Lock identifiers this function acquires (``with`` or .acquire()).
+    locks_used: List[str] = field(default_factory=list)
+    #: Directly nested acquisition pairs ``(lineno, outer, inner)``.
+    lock_pairs: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: Calls made while holding locks ``(lineno, lock_id, ref)``.
+    held_calls: List[Tuple[int, str, List[str]]] = field(default_factory=list)
+
+    def to_doc(self) -> Dict:
+        return {
+            "qualname": self.qualname, "module": self.module,
+            "path": self.path, "lineno": self.lineno,
+            "pragma_lineno": self.pragma_lineno,
+            "is_async": self.is_async, "nested": self.nested,
+            "calls": self.calls, "blocking": self.blocking,
+            "global_writes": self.global_writes,
+            "returns_unpicklable": self.returns_unpicklable,
+            "return_calls": self.return_calls,
+            "payload_sites": self.payload_sites,
+            "entry_refs": self.entry_refs,
+            "lock_acquires": self.lock_acquires,
+            "locks_used": self.locks_used,
+            "lock_pairs": self.lock_pairs,
+            "held_calls": self.held_calls,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "FunctionSummary":
+        summary = cls(
+            qualname=doc["qualname"], module=doc["module"],
+            path=doc["path"], lineno=doc["lineno"],
+            pragma_lineno=doc["pragma_lineno"],
+            is_async=doc["is_async"], nested=doc["nested"],
+        )
+        summary.calls = [(ln, list(ref)) for ln, ref in doc["calls"]]
+        summary.blocking = [tuple(item) for item in doc["blocking"]]
+        summary.global_writes = [tuple(item) for item in doc["global_writes"]]
+        summary.returns_unpicklable = list(doc["returns_unpicklable"])
+        summary.return_calls = [list(ref) for ref in doc["return_calls"]]
+        summary.payload_sites = [
+            (ln, disp, [list(r) for r in names], [list(r) for r in calls])
+            for ln, disp, names, calls in doc["payload_sites"]
+        ]
+        summary.entry_refs = [list(ref) for ref in doc["entry_refs"]]
+        summary.lock_acquires = [tuple(item) for item in doc["lock_acquires"]]
+        summary.locks_used = list(doc["locks_used"])
+        summary.lock_pairs = [tuple(item) for item in doc["lock_pairs"]]
+        summary.held_calls = [
+            (ln, lock, list(ref)) for ln, lock, ref in doc["held_calls"]
+        ]
+        return summary
+
+
+@dataclass
+class ModuleSummary:
+    """One file's extraction result: bindings plus function summaries."""
+
+    module: str
+    path: str
+    #: Local name -> fully qualified target (imports + own top-level defs).
+    bindings: Dict[str, str] = field(default_factory=dict)
+    #: Local alias -> module for wholesale imports (``import x as y``).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: Class name -> method names defined on it.
+    classes: Dict[str, List[str]] = field(default_factory=dict)
+    functions: List[FunctionSummary] = field(default_factory=list)
+    #: Entry refs registered at module level (``TASKS = {"n": fn}``).
+    entry_refs: List[List[str]] = field(default_factory=list)
+
+    def to_doc(self) -> Dict:
+        return {
+            "module": self.module, "path": self.path,
+            "bindings": self.bindings,
+            "module_aliases": self.module_aliases,
+            "classes": self.classes,
+            "functions": [fn.to_doc() for fn in self.functions],
+            "entry_refs": self.entry_refs,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "ModuleSummary":
+        return cls(
+            module=doc["module"], path=doc["path"],
+            bindings=dict(doc["bindings"]),
+            module_aliases=dict(doc["module_aliases"]),
+            classes={k: list(v) for k, v in doc["classes"].items()},
+            functions=[FunctionSummary.from_doc(d) for d in doc["functions"]],
+            entry_refs=[list(ref) for ref in doc["entry_refs"]],
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _resolve_relative(module: str, level: int, target: str) -> str:
+    """Absolute dotted name of a ``from ...x import`` base."""
+    base = module.split(".")
+    # Level 1 is "the current package": drop the module's own leaf.
+    parts = base[: max(len(base) - level, 0)]
+    if target:
+        parts += target.split(".")
+    return ".".join(parts)
+
+
+def _call_ref(expr: ast.AST, class_name: str = "") -> Optional[List[str]]:
+    """A raw, serializable reference for a callable expression."""
+    if isinstance(expr, ast.Name):
+        return ["name", expr.id]
+    if isinstance(expr, ast.Attribute):
+        value = expr.value
+        if isinstance(value, ast.Name):
+            if value.id in ("self", "cls") and class_name:
+                return ["method", class_name, expr.attr]
+            return ["attr", value.id, expr.attr]
+        if isinstance(value, ast.Attribute):
+            # Dotted owner (``pkg.mod.f()``): keep the full owner path.
+            parts: List[str] = []
+            node: ast.AST = value
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if isinstance(node, ast.Name):
+                parts.append(node.id)
+                return ["attr", ".".join(reversed(parts)), expr.attr]
+    return None
+
+
+def _unpicklable_reason(node: ast.AST) -> str:
+    """Why an expression node cannot cross the pickle boundary."""
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "open"
+    ):
+        return "an open file handle"
+    return ""
+
+
+class _Extractor(ast.NodeVisitor):
+    """One pass over a module AST building its :class:`ModuleSummary`."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.module = module_name_for(source.path)
+        self.summary = ModuleSummary(module=self.module, path=source.path)
+        self._class_stack: List[str] = []
+        self._function_stack: List[FunctionSummary] = []
+        self._globals_stack: List[Set[str]] = []
+        self._lock_stack: List[str] = []
+
+    # -- bindings -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.summary.module_aliases[alias.asname] = alias.name
+                self.summary.bindings[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".")[0]
+                self.summary.module_aliases[root] = root
+                self.summary.bindings[root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = (
+            _resolve_relative(self.module, node.level, node.module or "")
+            if node.level else (node.module or "")
+        )
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.summary.bindings[local] = (
+                f"{base}.{alias.name}" if base else alias.name
+            )
+
+    # -- definitions ----------------------------------------------------
+    def _qualname(self, name: str) -> str:
+        parts = [self.module]
+        parts += self._class_stack
+        parts += [fn.qualname.rsplit(".", 1)[-1] for fn in self._function_stack]
+        parts.append(name)
+        return ".".join(parts)
+
+    def _visit_function(self, node, is_async: bool) -> None:
+        qualname = self._qualname(node.name)
+        if not self._class_stack and not self._function_stack:
+            self.summary.bindings.setdefault(node.name, qualname)
+        pragma_lineno = min(
+            [d.lineno for d in node.decorator_list] + [node.lineno]
+        )
+        summary = FunctionSummary(
+            qualname=qualname, module=self.module, path=self.source.path,
+            lineno=node.lineno, pragma_lineno=pragma_lineno,
+            is_async=is_async, nested=bool(self._function_stack),
+        )
+        self.summary.functions.append(summary)
+        declared = {
+            name
+            for child in _own_nodes(node)
+            if isinstance(child, ast.Global)
+            for name in child.names
+        }
+        self._function_stack.append(summary)
+        self._globals_stack.append(declared)
+        saved_locks, self._lock_stack = self._lock_stack, []
+        for child in node.body:
+            self.visit(child)
+        self._detect_release_discipline(node, summary)
+        self._lock_stack = saved_locks
+        self._globals_stack.pop()
+        self._function_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, is_async=True)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._class_stack and not self._function_stack:
+            self.summary.bindings.setdefault(
+                node.name, f"{self.module}.{node.name}"
+            )
+        self._class_stack.append(node.name)
+        methods = self.summary.classes.setdefault(node.name, [])
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(child.name)
+            self.visit(child)
+        self._class_stack.pop()
+
+    # -- statements inside functions ------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_module_binding(node.targets)
+        self._record_global_writes(node, node.targets)
+        self._record_entry_registry(node.value)
+        self.generic_visit(node)
+
+    def _record_module_binding(self, targets) -> None:
+        """Module-level names (lock objects, registries) get qualnames.
+
+        Needed so two functions taking ``with a_lock:`` agree that it
+        is the *same* lock — identity through the module symbol, not
+        the local spelling.
+        """
+        if self._function_stack or self._class_stack:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.summary.bindings.setdefault(
+                    target.id, f"{self.module}.{target.id}"
+                )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_global_writes(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_module_binding([node.target])
+        self._record_global_writes(node, [node.target])
+        if node.value is not None:
+            self._record_entry_registry(node.value)
+        self.generic_visit(node)
+
+    def _record_global_writes(self, node, targets) -> None:
+        if not self._function_stack or not self._globals_stack[-1]:
+            return
+        declared = self._globals_stack[-1]
+        rebound: Set[str] = set()
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                rebound.add(target.id)
+        for name in sorted(rebound):
+            self._function_stack[-1].global_writes.append(
+                (node.lineno, name, bool(self._lock_stack))
+            )
+
+    def _record_entry_registry(self, value: ast.AST) -> None:
+        """``REGISTRY = {"name": fn, ...}`` marks fns as task entries.
+
+        Only module-level string-keyed dict literals whose values are
+        all plain references count — exactly the pool's task-registry
+        shape, without turning every dict literal into entry points.
+        """
+        if self._function_stack or self._class_stack:
+            return
+        if not isinstance(value, ast.Dict) or not value.values:
+            return
+        refs: List[List[str]] = []
+        for key, entry in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                return
+            ref = _call_ref(entry)
+            if ref is None:
+                return
+            refs.append(ref)
+        self.summary.entry_refs.extend(refs)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if self._function_stack and node.value is not None:
+            summary = self._function_stack[-1]
+            for leaf in ast.walk(node.value):
+                reason = _unpicklable_reason(leaf)
+                if reason:
+                    summary.returns_unpicklable.append(reason)
+            if isinstance(node.value, ast.Call):
+                ref = _call_ref(
+                    node.value.func,
+                    self._class_stack[-1] if self._class_stack else "",
+                )
+                if ref is not None:
+                    summary.return_calls.append(ref)
+        self.generic_visit(node)
+
+    # -- locks ----------------------------------------------------------
+    def _lock_id(self, expr: ast.AST) -> str:
+        """Stable identity for a lock expression, ``''`` when not one.
+
+        Anything whose terminal name contains ``lock`` counts.  Module-
+        level locks resolve through the bindings to a project-wide
+        name; ``self._lock`` resolves to ``module.Class._lock``;
+        locals fall back to a function-scoped id so two unrelated
+        helper locks never collide across functions.
+        """
+        name = ""
+        owner = ""
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+            if isinstance(expr.value, ast.Name):
+                owner = expr.value.id
+            else:
+                return ""
+        if "lock" not in name.lower():
+            return ""
+        if owner in ("self", "cls"):
+            if self._class_stack:
+                return f"{self.module}.{self._class_stack[-1]}.{name}"
+            return ""
+        if owner:
+            # ``import pkg.mod as m`` lands in module_aliases; a
+            # submodule pulled in with ``from pkg import mod`` only in
+            # bindings — either way the lock belongs to the target.
+            target = self.summary.module_aliases.get(
+                owner
+            ) or self.summary.bindings.get(owner)
+            if target:
+                return f"{target}.{name}"
+            return f"{self.module}.<{owner}.{name}>"
+        bound = self.summary.bindings.get(name)
+        if bound:
+            return bound
+        if self._function_stack:
+            # Not bound at module scope: a local lock object.
+            return f"{self._function_stack[-1].qualname}.<{name}>"
+        return f"{self.module}.{name}"
+
+    def _visit_with(self, node) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock_id = self._lock_id(item.context_expr)
+            if lock_id:
+                acquired.append(lock_id)
+        if self._function_stack and acquired:
+            summary = self._function_stack[-1]
+            for lock_id in acquired:
+                for held in self._lock_stack:
+                    if held != lock_id:
+                        summary.lock_pairs.append((node.lineno, held, lock_id))
+                summary.locks_used.append(lock_id)
+        self._lock_stack.extend(acquired)
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for child in node.body:
+            self.visit(child)
+        if acquired:
+            del self._lock_stack[-len(acquired):]
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _detect_release_discipline(self, node, summary) -> None:
+        """Explicit acquire/release pairing inside one function body.
+
+        An ``X.acquire()`` is *guaranteed* released when some
+        ``X.release()`` sits in a ``finally`` block; when the only
+        releases are on ordinary paths, the happy path holds and every
+        exception path leaks the lock.  Functions that never release a
+        lock they acquire are left alone — ownership may legitimately
+        be handed off (a pool's collector releases what submit took).
+        """
+        finally_nodes: Set[int] = set()
+        for child in _own_nodes(node):
+            if isinstance(child, ast.Try):
+                for stmt in child.finalbody:
+                    finally_nodes.add(id(stmt))
+                    for sub in ast.walk(stmt):
+                        finally_nodes.add(id(sub))
+        acquires: List[Tuple[int, str]] = []
+        releases: Dict[str, List[bool]] = {}
+        for child in _own_nodes(node):
+            if not isinstance(child, ast.Call):
+                continue
+            func = child.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in ("acquire", "release"):
+                continue
+            lock_id = self._lock_id(func.value)
+            if not lock_id:
+                continue
+            if func.attr == "acquire":
+                acquires.append((child.lineno, lock_id))
+                summary.locks_used.append(lock_id)
+            else:
+                releases.setdefault(lock_id, []).append(
+                    id(child) in finally_nodes
+                )
+        for lineno, lock_id in acquires:
+            seen = releases.get(lock_id)
+            if seen is None:
+                continue  # released elsewhere; not judged locally
+            summary.lock_acquires.append((lineno, lock_id, any(seen)))
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        class_name = self._class_stack[-1] if self._class_stack else ""
+        ref = _call_ref(node.func, class_name)
+        summary = self._function_stack[-1] if self._function_stack else None
+        callee_name = ""
+        if isinstance(node.func, ast.Attribute):
+            callee_name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            callee_name = node.func.id
+        if summary is not None and ref is not None:
+            summary.calls.append((node.lineno, ref))
+            for held in self._lock_stack:
+                summary.held_calls.append((node.lineno, held, ref))
+            reason = self._blocking_reason(ref, callee_name)
+            if reason:
+                summary.blocking.append((node.lineno, reason))
+        if callee_name in TASK_DISPATCH_CALLS:
+            self._record_dispatch(node, summary, class_name)
+        if callee_name in EXECUTOR_SHIELDS:
+            # Arguments of run_in_executor/to_thread run off-thread;
+            # do not walk them into this function's call facts.
+            self.visit(node.func)
+            return
+        self.generic_visit(node)
+
+    def _blocking_reason(self, ref: List[str], callee_name: str) -> str:
+        """Direct blocking fact for a call ref, resolved via bindings."""
+        target = ""
+        if ref[0] == "name":
+            target = self.summary.bindings.get(ref[1], "")
+        elif ref[0] == "attr":
+            owner = self.summary.module_aliases.get(ref[1], ref[1])
+            target = f"{owner}.{ref[2]}"
+        if target in BLOCKING_CALLS:
+            return BLOCKING_CALLS[target]
+        if ref[0] in ("attr", "method") and callee_name in BLOCKING_ATTRS:
+            return BLOCKING_ATTRS[callee_name]
+        return ""
+
+    def _record_dispatch(self, node: ast.Call, summary, class_name) -> None:
+        """A ``submit``-style call: entry refs + payload pickle facts."""
+        display = (
+            node.func.attr if isinstance(node.func, ast.Attribute)
+            else getattr(node.func, "id", "dispatch")
+        )
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        name_refs: List[List[str]] = []
+        call_refs: List[List[str]] = []
+        for index, argument in enumerate(arguments):
+            if isinstance(argument, (ast.Name, ast.Attribute)):
+                ref = _call_ref(argument, class_name)
+                if ref is not None:
+                    if index == 0:
+                        # First-position callables become task entries.
+                        self.summary.entry_refs.append(ref)
+                    name_refs.append(ref)
+                    continue
+            for leaf in ast.walk(argument):
+                if isinstance(leaf, ast.Call):
+                    sub = _call_ref(leaf.func, class_name)
+                    if sub is not None:
+                        call_refs.append(sub)
+        if summary is not None:
+            summary.payload_sites.append(
+                (node.lineno, display, name_refs, call_refs)
+            )
+
+
+def extract_module(source: SourceFile) -> ModuleSummary:
+    """Parse one file and extract its :class:`ModuleSummary`."""
+    extractor = _Extractor(source)
+    extractor.visit(source.tree)
+    return extractor.summary
+
+
+# ----------------------------------------------------------------------
+# Linking: summaries -> symbol table + call graph
+# ----------------------------------------------------------------------
+@dataclass
+class AnalysisStats:
+    """Cache effectiveness counters for one :func:`build_project` run."""
+
+    files_parsed: int = 0
+    files_cached: int = 0
+    sccs_solved: int = 0
+    sccs_reused: int = 0
+
+
+@dataclass
+class ProjectAnalysis:
+    """The linked whole-program view the CONC9xx rules consume."""
+
+    modules: Dict[str, ModuleSummary] = field(default_factory=dict)
+    files: Dict[str, SourceFile] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: Resolved call edges ``(caller_qual, callee_qual, lineno)``.
+    call_edges: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: Task entry-point qualnames.
+    entries: FrozenSet[str] = frozenset()
+    #: qualname -> blocking reasons reachable through sync callees.
+    blocking: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: qualname -> task entries that transitively reach it.
+    entry_reach: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: qualname -> why its (transitive) return value cannot pickle.
+    unpicklable: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: qualname -> locks transitively acquired beneath it.
+    locks_held: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+
+    def source_for(self, summary: FunctionSummary) -> Optional[SourceFile]:
+        """The source file a summary came from (for pragma lookups)."""
+        return self.files.get(summary.path)
+
+    def resolve(
+        self, module: str, ref: Sequence[str], scope: str = ""
+    ) -> Optional[str]:
+        """Resolve a raw ref in ``module``'s scope to a qualname.
+
+        ``scope`` is the qualname of the function the ref appeared in;
+        enclosing-scope names (nested functions) resolve through it.
+        """
+        return _resolve_ref(self, self.modules.get(module), ref, scope)
+
+
+def _resolve_ref(
+    project: ProjectAnalysis,
+    mod: Optional[ModuleSummary],
+    ref: Sequence[str],
+    scope: str = "",
+) -> Optional[str]:
+    if mod is None or not ref:
+        return None
+    kind = ref[0]
+    if kind == "name":
+        # Lexical scoping: a bare name inside ``mod.outer`` may be the
+        # nested ``mod.outer.inner``; try enclosing scopes innermost
+        # first, then the module bindings.
+        prefix = scope
+        while prefix:
+            candidate = f"{prefix}.{ref[1]}"
+            if candidate in project.functions:
+                return candidate
+            prefix = prefix.rpartition(".")[0]
+            if prefix == mod.module:
+                break
+        target = mod.bindings.get(ref[1], f"{mod.module}.{ref[1]}")
+        return target if target in project.functions else None
+    if kind == "method":
+        target = f"{mod.module}.{ref[1]}.{ref[2]}"
+        return target if target in project.functions else None
+    if kind == "attr":
+        owner = mod.module_aliases.get(ref[1]) or mod.bindings.get(ref[1])
+        if owner is None:
+            return None
+        target = f"{owner}.{ref[2]}"
+        return target if target in project.functions else None
+    return None
+
+
+def link_project(
+    modules: Sequence[ModuleSummary],
+    files: Dict[str, SourceFile],
+    stats: Optional[AnalysisStats] = None,
+) -> ProjectAnalysis:
+    """Build the symbol table and resolve every raw reference."""
+    project = ProjectAnalysis(stats=stats or AnalysisStats())
+    for mod in modules:
+        project.modules[mod.module] = mod
+        for fn in mod.functions:
+            project.functions[fn.qualname] = fn
+    project.files = dict(files)
+    entries: Set[str] = set()
+    for mod in modules:
+        refs = list(mod.entry_refs)
+        for fn in mod.functions:
+            refs.extend(fn.entry_refs)
+        for ref in refs:
+            target = _resolve_ref(project, mod, ref)
+            if target is not None:
+                entries.add(target)
+        for fn in mod.functions:
+            for lineno, ref in fn.calls:
+                target = _resolve_ref(project, mod, ref, scope=fn.qualname)
+                if target is not None and target != fn.qualname:
+                    project.call_edges.append((fn.qualname, target, lineno))
+    project.entries = frozenset(entries)
+    return project
+
+
+# ----------------------------------------------------------------------
+# Interprocedural fixed points over call-graph SCCs
+# ----------------------------------------------------------------------
+def _scc_key(analysis: str, member_facts, intra_edges) -> str:
+    payload = json.dumps(
+        [analysis, member_facts, intra_edges],
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def _solve_union(
+    names: Sequence[str],
+    flow_edges: Sequence[Tuple[str, str]],
+    facts: Dict[str, FrozenSet[str]],
+    analysis: str,
+    cache=None,
+    stats: Optional[AnalysisStats] = None,
+) -> Dict[str, FrozenSet[str]]:
+    """May-union fixed point over the call graph, one SCC at a time.
+
+    ``flow_edges`` are already oriented in flow direction (a value
+    moves ``src -> dst``) and the transfer function is the identity,
+    so all analysis-specific logic lives in how callers orient edges
+    and seed ``facts``.  Each SCC is solved with the generic worklist
+    engine (:func:`repro.lint.dataflow.solve`); its fixed point is
+    cached under a key derived from the members' local facts, the
+    intra-SCC edges, and the *values* flowing in from upstream SCCs,
+    so an unchanged component with unchanged inputs never re-solves.
+    """
+    ids = {name: index for index, name in enumerate(names)}
+    succs: Dict[int, List[int]] = {index: [] for index in range(len(names))}
+    flow_in: Dict[int, List[int]] = {index: [] for index in range(len(names))}
+    for src, dst in flow_edges:
+        if src in ids and dst in ids:
+            succs[ids[src]].append(ids[dst])
+            flow_in[ids[dst]].append(ids[src])
+    components = list(
+        reversed(strongly_connected_components(list(range(len(names))), succs))
+    )
+    universe: Set[str] = set()
+    for seed in facts.values():
+        universe |= seed
+    lattice = SetLattice(universe)
+    values: Dict[int, FrozenSet[str]] = {}
+    for component in components:
+        members = sorted(component)
+        member_set = set(members)
+        boundary: Dict[int, FrozenSet[str]] = {}
+        for node in members:
+            incoming = frozenset()
+            for src in flow_in[node]:
+                if src not in member_set:
+                    incoming |= values[src]
+            boundary[node] = incoming
+        intra = sorted(
+            (src, dst)
+            for src in members
+            for dst in succs[src]
+            if dst in member_set
+        )
+        key = _scc_key(
+            analysis,
+            [
+                (
+                    names[node],
+                    sorted(facts.get(names[node], frozenset())),
+                    sorted(boundary[node]),
+                )
+                for node in members
+            ],
+            [(names[src], names[dst]) for src, dst in intra],
+        )
+        cached = cache.get_scc(key) if cache is not None else None
+        if cached is not None:
+            for name, vals in cached.items():
+                values[ids[name]] = frozenset(vals)
+            if stats is not None:
+                stats.sccs_reused += 1
+            continue
+        init_map = {
+            node: facts.get(names[node], frozenset()) | boundary[node]
+            for node in members
+        }
+        problem = DataflowProblem(
+            lattice=lattice,
+            may=True,
+            init=lambda node, _m=init_map: _m[node],
+            condense=False,  # already inside one SCC
+        )
+        result = solve(members, [(s, d, 0, 0) for s, d in intra], problem)
+        solved_doc: Dict[str, List[str]] = {}
+        for node in members:
+            values[node] = result.values[node]
+            solved_doc[names[node]] = sorted(result.values[node])
+        if cache is not None:
+            cache.put_scc(key, solved_doc)
+        if stats is not None:
+            stats.sccs_solved += 1
+    return {name: values[ids[name]] for name in names}
+
+
+def analyze_project(project: ProjectAnalysis, cache=None) -> ProjectAnalysis:
+    """Run the four interprocedural analyses onto ``project`` in place."""
+    names = sorted(project.functions)
+    fns = project.functions
+    caller_to_callee = [
+        (caller, callee) for caller, callee, _lineno in project.call_edges
+    ]
+    # 1. Blocking reachability: facts flow callee -> caller, but only
+    #    out of *sync* callees — awaiting a coroutine does not block.
+    sync_callee_edges = [
+        (callee, caller)
+        for caller, callee in caller_to_callee
+        if not fns[callee].is_async
+    ]
+    blocking_facts = {
+        name: frozenset(reason for _lineno, reason in fn.blocking)
+        for name, fn in fns.items()
+    }
+    project.blocking = _solve_union(
+        names, sync_callee_edges, blocking_facts, "blocking",
+        cache, project.stats,
+    )
+    # 2. Entry reachability: entry names flow caller -> callee.
+    entry_facts = {
+        name: frozenset((name,)) if name in project.entries else frozenset()
+        for name in names
+    }
+    project.entry_reach = _solve_union(
+        names, caller_to_callee, entry_facts, "entry_reach",
+        cache, project.stats,
+    )
+    # 3. Unpicklable return closure: flows callee -> caller, but only
+    #    along return-call edges (``return helper()``).
+    return_edges: List[Tuple[str, str]] = []
+    for name, fn in fns.items():
+        mod = project.modules.get(fn.module)
+        for ref in fn.return_calls:
+            target = _resolve_ref(project, mod, ref, scope=name)
+            if target is not None and target != name:
+                return_edges.append((target, name))
+    unpicklable_facts = {
+        name: frozenset(fn.returns_unpicklable) for name, fn in fns.items()
+    }
+    project.unpicklable = _solve_union(
+        names, return_edges, unpicklable_facts, "unpicklable",
+        cache, project.stats,
+    )
+    # 4. Transitively held locks: flows callee -> caller.
+    callee_edges = [(callee, caller) for caller, callee in caller_to_callee]
+    lock_facts = {
+        name: frozenset(fn.locks_used) for name, fn in fns.items()
+    }
+    project.locks_held = _solve_union(
+        names, callee_edges, lock_facts, "locks_held",
+        cache, project.stats,
+    )
+    return project
+
+
+def build_project(
+    sources: Sequence[SourceFile], cache=None
+) -> ProjectAnalysis:
+    """Extract (or reuse), link, and analyze a set of source files.
+
+    ``cache`` is a :class:`repro.lint.anacache.AnalysisCache` (or None
+    for a purely in-memory run).  Files whose content hash matches the
+    cache reuse their stored :class:`ModuleSummary` without parsing;
+    SCC fixed points are reused through the same cache.
+    """
+    stats = AnalysisStats()
+    modules: List[ModuleSummary] = []
+    files: Dict[str, SourceFile] = {}
+    for source in sources:
+        files[source.path] = source
+        text_hash = hashlib.sha256(source.text.encode("utf-8")).hexdigest()
+        summary = (
+            cache.get_summary(source.path, text_hash)
+            if cache is not None else None
+        )
+        if summary is not None:
+            stats.files_cached += 1
+        else:
+            try:
+                summary = extract_module(source)
+            except SyntaxError:
+                # A file the interpreter rejects is a per-file concern
+                # (LINT001 via the SRC8xx pass); skip it here.
+                continue
+            stats.files_parsed += 1
+            if cache is not None:
+                cache.put_summary(source.path, text_hash, summary)
+        modules.append(summary)
+    project = link_project(modules, files, stats)
+    analyze_project(project, cache)
+    if cache is not None:
+        cache.save()
+    return project

@@ -44,6 +44,9 @@ class LintTarget:
     artifacts.  ``source`` carries a Python file for the SRC8xx
     self-analysis family — source targets and pipeline targets are
     disjoint in practice, but nothing forbids mixing them.
+    ``project`` carries a whole-program call-graph analysis
+    (:class:`~repro.lint.callgraph.ProjectAnalysis`) for the CONC9xx
+    interprocedural family; one project target covers every file.
     """
 
     name: str = ""
@@ -52,6 +55,7 @@ class LintTarget:
     annotated: Optional[AnnotatedDdg] = None
     schedule: Optional[Schedule] = None
     source: Optional[SourceFile] = None
+    project: Optional[object] = None
     cache: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -88,6 +92,8 @@ class LintTarget:
             names.add("schedule")
         if self.source is not None:
             names.add("source")
+        if self.project is not None:
+            names.add("project")
         return names
 
 
@@ -98,6 +104,8 @@ class LintReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     n_targets: int = 0
     rules_run: int = 0
+    #: The ProjectAnalysis behind a CONC9xx run (cache-stats probes).
+    project: Optional[object] = None
 
     def by_severity(self, severity: str) -> List[Diagnostic]:
         """Diagnostics of one severity level."""
@@ -248,6 +256,31 @@ def lint_source_paths(
     report = LintReport()
     for source in collect_source_files(paths):
         report.extend(lint_source_file(source, config))
+    return report
+
+
+def lint_project(
+    sources: Iterable[SourceFile],
+    config: LintConfig = DEFAULT_CONFIG,
+    cache_dir: Optional[str] = None,
+) -> LintReport:
+    """Interprocedural CONC9xx lint of a whole set of source files.
+
+    Builds (or incrementally reuses, when ``cache_dir`` is given) the
+    project call-graph analysis and runs the project-level rules over
+    one target named ``project``.  Callers that also want the per-file
+    SRC8xx pass run :func:`lint_source_paths` separately and merge.
+    """
+    from .anacache import AnalysisCache
+    from .callgraph import build_project
+
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    with obs.span("lint.callgraph"):
+        project = build_project(list(sources), cache=cache)
+    report = lint_target(
+        LintTarget(name="project", project=project), config
+    )
+    report.project = project
     return report
 
 

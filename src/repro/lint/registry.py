@@ -13,6 +13,7 @@ stable code grouped by artifact family:
 ``CERT6xx``   compilation-certificate verification
 ``DF7xx``     fixed-point dataflow analyses over cyclic kernels
 ``SRC8xx``    self-analysis of the repro Python sources
+``CONC9xx``   interprocedural concurrency analysis (call graph)
 ========== ======================================================
 
 A rule's check function receives ``(target, config)`` and yields
@@ -39,10 +40,11 @@ FAMILIES = {
     "CERT6": "certificate verification",
     "DF7": "cyclic-kernel dataflow analysis",
     "SRC8": "repro source self-analysis",
+    "CONC9": "interprocedural concurrency analysis",
 }
 
 _CODE = re.compile(
-    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6|DF7|SRC8)\d\d$"
+    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6|DF7|SRC8|CONC9)\d\d$"
 )
 
 
@@ -177,6 +179,7 @@ def _load_rule_modules() -> None:
     from . import (  # noqa: F401  (imported for registration side effect)
         rules_assign,
         rules_cert,
+        rules_conc,
         rules_ddg,
         rules_df,
         rules_machine,

@@ -1,0 +1,281 @@
+"""CONC9xx — interprocedural concurrency analysis of the sources.
+
+Where the SRC8xx family inspects one file at a time, these rules
+consume the whole-program view of :mod:`repro.lint.callgraph` — the
+project symbol table, the resolved call graph, and the interprocedural
+fixed points solved over its SCCs:
+
+* ``CONC901`` — a coroutine calls a *sync* function from which a
+  blocking operation is transitively reachable.  This is SRC804
+  upgraded from "direct blocking call inside ``async def``" to
+  "blocking call reachable from a coroutine": the helper that buries
+  ``time.sleep`` two modules away stalls the event loop just the same.
+* ``CONC902`` — module state is rebound inside a function reachable
+  from a worker-pool task entry point.  Even a lock-guarded write (the
+  SRC801-sanctioned parent-side pattern) diverges silently across the
+  fork boundary: each worker mutates its own copy and nobody else sees
+  it.  Advisory severity — per-process state is sometimes the point,
+  but it must be an explicit decision.
+* ``CONC903`` — a task payload transitively captures something that
+  cannot pickle: the payload names a nested function, or calls a
+  factory whose (transitive) return value contains a lambda, a
+  generator expression, or an open file handle.
+* ``CONC904`` — an explicit ``X.acquire()`` whose only ``X.release()``
+  sits on ordinary (non-``finally``) paths: the happy path holds, and
+  every exception path leaks the lock.
+* ``CONC905`` — two locks acquired in both orders somewhere in the
+  project (directly nested ``with`` blocks, or a call made while
+  holding one lock into code that transitively takes the other) — the
+  classic ABBA deadlock shape.
+
+Findings can be suppressed with the same ``# lint: allow CODE`` pragma
+the SRC8xx rules honor, either at the flagged line or at the enclosing
+function's definition (a pragma above the first decorator covers the
+whole function).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .callgraph import FunctionSummary, ProjectAnalysis
+from .registry import Finding, rule
+
+
+def _suppressed(
+    project: ProjectAnalysis,
+    fn: FunctionSummary,
+    lineno: int,
+    code: str,
+) -> bool:
+    """Pragma check at the flagged line *or* the function definition."""
+    source = project.source_for(fn)
+    if source is None:
+        return False
+    return source.suppressed(lineno, code) or source.suppressed(
+        fn.pragma_lineno, code
+    )
+
+
+def _where(fn: FunctionSummary, lineno: int) -> str:
+    return f"{fn.path}:{lineno}"
+
+
+@rule(
+    "CONC901",
+    "transitive-blocking-in-async",
+    "error",
+    "blocking operation transitively reachable from a coroutine",
+    requires=("project",),
+    artifact="project",
+)
+def check_transitive_blocking(target, config) -> Iterator[Finding]:
+    project: ProjectAnalysis = target.project
+    fns = project.functions
+    for caller, callee, lineno in project.call_edges:
+        caller_fn = fns[caller]
+        callee_fn = fns[callee]
+        if not caller_fn.is_async or callee_fn.is_async:
+            continue
+        reasons = project.blocking.get(callee, frozenset())
+        if not reasons:
+            continue
+        if _suppressed(project, caller_fn, lineno, "CONC901"):
+            continue
+        detail = "; ".join(sorted(reasons)[:2])
+        yield Finding(
+            location=_where(caller_fn, lineno),
+            message=(
+                f"coroutine {caller!r} calls {callee!r}, from which a "
+                f"blocking operation is reachable ({detail})"
+            ),
+            hint="push the call through run_in_executor/to_thread, or "
+                 "make the helper chain async",
+        )
+
+
+@rule(
+    "CONC902",
+    "worker-global-escape",
+    "warning",
+    "module state rebound inside code reachable from a pool task entry",
+    requires=("project",),
+    artifact="project",
+)
+def check_worker_global_escape(target, config) -> Iterator[Finding]:
+    project: ProjectAnalysis = target.project
+    for name in sorted(project.functions):
+        fn = project.functions[name]
+        if not fn.global_writes:
+            continue
+        entries = project.entry_reach.get(name, frozenset())
+        if not entries:
+            continue
+        witness = sorted(entries)[0]
+        for lineno, global_name, _locked in fn.global_writes:
+            if _suppressed(project, fn, lineno, "CONC902"):
+                continue
+            yield Finding(
+                location=_where(fn, lineno),
+                message=(
+                    f"{name!r} rebinds module global {global_name!r} and "
+                    f"is reachable from task entry {witness!r}; the write "
+                    f"lands in one worker process only"
+                ),
+                hint="return the state to the parent instead, or add "
+                     "'# lint: allow CONC902' if per-process state is "
+                     "intentional",
+            )
+
+
+@rule(
+    "CONC903",
+    "transitive-unpicklable-payload",
+    "error",
+    "task payload transitively captures an unpicklable value",
+    requires=("project",),
+    artifact="project",
+)
+def check_transitive_unpicklable(target, config) -> Iterator[Finding]:
+    project: ProjectAnalysis = target.project
+    for name in sorted(project.functions):
+        fn = project.functions[name]
+        for lineno, display, name_refs, call_refs in fn.payload_sites:
+            if _suppressed(project, fn, lineno, "CONC903"):
+                continue
+            for ref in name_refs:
+                resolved = project.resolve(fn.module, ref, scope=name)
+                if resolved is None:
+                    continue
+                if project.functions[resolved].nested:
+                    yield Finding(
+                        location=_where(fn, lineno),
+                        message=(
+                            f"{display}() payload references "
+                            f"{resolved!r}, a nested function that "
+                            f"cannot pickle into a worker"
+                        ),
+                        hint="hoist the function to module level or "
+                             "register it as a named task",
+                    )
+            for ref in call_refs:
+                resolved = project.resolve(fn.module, ref, scope=name)
+                if resolved is None:
+                    continue
+                reasons = project.unpicklable.get(resolved, frozenset())
+                if not reasons:
+                    continue
+                detail = ", ".join(sorted(reasons)[:2])
+                yield Finding(
+                    location=_where(fn, lineno),
+                    message=(
+                        f"{display}() payload calls {resolved!r}, whose "
+                        f"return value transitively contains {detail}"
+                    ),
+                    hint="materialize the value into plain data before "
+                         "dispatching",
+                )
+
+
+@rule(
+    "CONC904",
+    "lock-release-discipline",
+    "error",
+    "lock acquired without a release guaranteed on exception paths",
+    requires=("project",),
+    artifact="project",
+)
+def check_lock_release_discipline(target, config) -> Iterator[Finding]:
+    project: ProjectAnalysis = target.project
+    for name in sorted(project.functions):
+        fn = project.functions[name]
+        for lineno, lock_id, guaranteed in fn.lock_acquires:
+            if guaranteed:
+                continue
+            if _suppressed(project, fn, lineno, "CONC904"):
+                continue
+            yield Finding(
+                location=_where(fn, lineno),
+                message=(
+                    f"{name!r} acquires {_lock_display(lock_id)} but "
+                    f"releases it on ordinary paths only; an exception "
+                    f"leaks the lock"
+                ),
+                hint="use `with lock:` or move the release into a "
+                     "`finally` block",
+            )
+
+
+def _lock_display(lock_id: str) -> str:
+    """Human form of a lock identity (strip local-scope brackets)."""
+    return lock_id.replace("<", "").replace(">", "")
+
+
+@rule(
+    "CONC905",
+    "lock-order-inversion",
+    "warning",
+    "two locks acquired in both orders somewhere in the project",
+    requires=("project",),
+    artifact="project",
+)
+def check_lock_order_inversion(target, config) -> Iterator[Finding]:
+    project: ProjectAnalysis = target.project
+    #: ordered pair -> earliest witness (path, lineno, fn, via).
+    pairs: Dict[Tuple[str, str], Tuple[FunctionSummary, int, str]] = {}
+
+    def record(
+        fn: FunctionSummary, lineno: int, outer: str, inner: str, via: str
+    ) -> None:
+        key = (outer, inner)
+        existing = pairs.get(key)
+        if existing is None or (fn.path, lineno) < (
+            existing[0].path, existing[1]
+        ):
+            pairs[key] = (fn, lineno, via)
+
+    for name in sorted(project.functions):
+        fn = project.functions[name]
+        for lineno, outer, inner in fn.lock_pairs:
+            record(fn, lineno, outer, inner, "directly nested")
+        for lineno, held, ref in fn.held_calls:
+            resolved = project.resolve(fn.module, ref, scope=name)
+            if resolved is None:
+                continue
+            for inner in project.locks_held.get(resolved, frozenset()):
+                if inner != held:
+                    record(
+                        fn, lineno, held, inner,
+                        f"via call to {resolved!r}",
+                    )
+    reported: Set[Tuple[str, str]] = set()
+    for (outer, inner) in sorted(pairs):
+        unordered = (min(outer, inner), max(outer, inner))
+        if unordered in reported:
+            continue
+        if (inner, outer) not in pairs:
+            continue
+        reported.add(unordered)
+        findings: List[Finding] = []
+        suppressed = False
+        for first, second in ((outer, inner), (inner, outer)):
+            fn, lineno, via = pairs[(first, second)]
+            if _suppressed(project, fn, lineno, "CONC905"):
+                suppressed = True
+                break
+            findings.append(
+                Finding(
+                    location=_where(fn, lineno),
+                    message=(
+                        f"{fn.qualname!r} acquires "
+                        f"{_lock_display(first)} then "
+                        f"{_lock_display(second)} ({via}); the "
+                        f"opposite order also exists — ABBA deadlock "
+                        f"risk"
+                    ),
+                    hint="pick one global acquisition order for the "
+                         "two locks and enforce it everywhere",
+                )
+            )
+        if not suppressed:
+            yield from findings

@@ -64,6 +64,16 @@ def _functions(tree: ast.AST) -> List[ast.AST]:
     ]
 
 
+def _def_suppressed(source, function, code: str) -> bool:
+    """A pragma covering the whole ``def`` — at the definition line or
+    above its *first decorator*, which is where reviewers actually put
+    it on decorated functions."""
+    pragma_lineno = min(
+        [d.lineno for d in function.decorator_list] + [function.lineno]
+    )
+    return source.suppressed(pragma_lineno, code)
+
+
 @rule(
     "SRC801",
     "fork-unsafe-global",
@@ -75,6 +85,8 @@ def _functions(tree: ast.AST) -> List[ast.AST]:
 def check_fork_unsafe_globals(target, config) -> Iterator[Finding]:
     source = target.source
     for function in _functions(source.tree):
+        if _def_suppressed(source, function, "SRC801"):
+            continue
         declared: Set[str] = set()
         for statement in ast.walk(function):
             if isinstance(statement, ast.Global):
@@ -307,6 +319,8 @@ def check_blocking_in_async(target, config) -> Iterator[Finding]:
     bare_sleep = _time_sleep_alias(source.tree)
     for function in _functions(source.tree):
         if not isinstance(function, ast.AsyncFunctionDef):
+            continue
+        if _def_suppressed(source, function, "SRC804"):
             continue
         for call, _parent in _async_calls(function):
             reason = _blocking_reason(call, bare_sleep)

@@ -61,11 +61,17 @@ class SourceFile:
         return self._lines
 
     def suppressed(self, lineno: int, code: str) -> bool:
-        """True when a ``# lint: allow CODE`` pragma covers ``lineno``."""
+        """True when a ``# lint: allow CODE`` pragma covers ``lineno``.
+
+        The pragma's code list splits on commas/whitespace and each
+        token must match *exactly*: ``# lint: allow SRC8014`` does not
+        silence ``SRC801``, and ``# lint: allow SRC801, CONC902``
+        silences both listed codes and nothing else.
+        """
         for line_index in (lineno - 1, lineno - 2):
             if 0 <= line_index < len(self.lines):
                 match = _PRAGMA.search(self.lines[line_index])
-                if match and code in match.group(1):
+                if match and code in re.split(r"[,\s]+", match.group(1)):
                     return True
         return False
 
@@ -78,19 +84,39 @@ def load_source_file(path: str, root: str = "") -> SourceFile:
     return SourceFile(path=display.replace(os.sep, "/"), text=text)
 
 
+#: Directory names os.walk never descends into: caches, VCS metadata,
+#: virtualenvs, and build output — ``repro lint --src .`` must not
+#: spend its budget walking a virtualenv's site-packages.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hg", ".svn", ".venv", "venv",
+     "build", "dist", "node_modules"}
+)
+
+
+def _skip_dir(name: str) -> bool:
+    """Junk directories excluded from source collection."""
+    return (
+        name in _SKIP_DIRS
+        or name.startswith(".")
+        or name.endswith(".egg-info")
+    )
+
+
 def collect_source_files(paths: Iterable[str]) -> List[SourceFile]:
     """Expand files and directories into sorted :class:`SourceFile` s.
 
-    Directories are walked recursively for ``*.py`` (skipping
-    ``__pycache__``); explicit file paths are taken as given.  Order is
-    deterministic so reports and SARIF output are stable.
+    Directories are walked recursively for ``*.py``, skipping hidden
+    directories and common junk (``__pycache__``, ``.git``, ``.venv``/
+    ``venv``, ``build``, ``dist``, ``*.egg-info``); explicit file
+    paths are taken as given.  Order is deterministic so reports and
+    SARIF output are stable.
     """
     found: List[str] = []
     for path in paths:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames[:] = sorted(
-                    d for d in dirnames if d != "__pycache__"
+                    d for d in dirnames if not _skip_dir(d)
                 )
                 for filename in sorted(filenames):
                     if filename.endswith(".py"):

@@ -69,7 +69,9 @@ def prewarm() -> None:
             return
         for name, build in STANDARD_PRESETS.items():
             _PRESETS[name] = build()
-        _WARM = True
+        # Per-process warm cache is the point: each worker warms its
+        # own presets once and never shares them back.
+        _WARM = True  # lint: allow CONC902
 
 
 def resolve_machine(ref) -> Machine:

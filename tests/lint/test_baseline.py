@@ -1,0 +1,140 @@
+"""Warn-first baselines and the incremental analysis cache contract."""
+
+import textwrap
+
+from repro.lint import (
+    LintConfig,
+    SourceFile,
+    apply_baseline,
+    fingerprint,
+    lint_project,
+    load_baseline,
+    write_baseline,
+)
+
+_CONC = LintConfig(select=frozenset({"CONC9"}))
+
+#: A project with one CONC901 error: coroutine -> sync helper -> sleep.
+_SOURCES = [
+    ("src/app/handler.py", """
+        from app import helper
+
+
+        async def handle(request):
+            return helper.slow(request)
+        """),
+    ("src/app/helper.py", """
+        import time
+
+
+        def slow(request):
+            time.sleep(2)
+            return request
+        """),
+]
+
+
+def _sources():
+    return [
+        SourceFile(path=path, text=textwrap.dedent(text))
+        for path, text in _SOURCES
+    ]
+
+
+def _report():
+    return lint_project(_sources(), _CONC)
+
+
+class TestFingerprint:
+    def test_stable_across_runs(self):
+        [a] = _report().errors
+        [b] = _report().errors
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_ignores_line_position_but_not_message(self):
+        from dataclasses import replace
+
+        [diag] = _report().errors
+        moved = replace(diag, location="src/app/handler.py:99")
+        assert fingerprint(moved) == fingerprint(diag)
+        reworded = replace(diag, message=diag.message + "!")
+        assert fingerprint(reworded) != fingerprint(diag)
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_apply_demotes_to_warning(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        report = _report()
+        assert not report.ok
+        assert write_baseline(path, report.diagnostics) == 1
+
+        fresh = _report()
+        demoted = apply_baseline(fresh, load_baseline(path))
+        assert len(demoted) == 1
+        assert fresh.ok
+        assert [d.severity for d in fresh.diagnostics] == ["warning"]
+
+    def test_new_finding_still_gates(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, _report().diagnostics)
+
+        extra = _sources() + [
+            SourceFile(
+                path="src/app/extra.py",
+                text=textwrap.dedent(
+                    """
+                    from app import helper
+
+
+                    async def poll(request):
+                        return helper.slow(request)
+                    """
+                ),
+            )
+        ]
+        report = lint_project(extra, _CONC)
+        apply_baseline(report, load_baseline(path))
+        # The old finding is demoted; the new one gates at full severity.
+        assert not report.ok
+        assert len(report.errors) == 1
+        assert "app.extra.poll" in report.errors[0].message
+
+    def test_warnings_are_never_baselined(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        report = _report()
+        demoted = apply_baseline(report, load_baseline(path))
+        assert demoted == []  # empty/missing baseline is a no-op
+        assert write_baseline(path, report.warnings) == 0
+
+    def test_missing_or_corrupt_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == frozenset()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_baseline(str(bad)) == frozenset()
+
+
+class TestCacheContract:
+    def test_warm_rerun_with_no_changes_skips_everything(self, tmp_path):
+        cache_dir = str(tmp_path)
+        cold = lint_project(_sources(), _CONC, cache_dir=cache_dir)
+        assert cold.project.stats.files_parsed == len(_SOURCES)
+        assert cold.project.stats.sccs_solved > 0
+
+        warm = lint_project(_sources(), _CONC, cache_dir=cache_dir)
+        # The cache hit: nothing re-parses and no SCC re-solves.
+        assert warm.project.stats.files_parsed == 0
+        assert warm.project.stats.files_cached == len(_SOURCES)
+        assert warm.project.stats.sccs_solved == 0
+        assert warm.project.stats.sccs_reused == (
+            cold.project.stats.sccs_solved
+        )
+
+    def test_warm_run_reports_identical_findings(self, tmp_path):
+        cache_dir = str(tmp_path)
+        cold = lint_project(_sources(), _CONC, cache_dir=cache_dir)
+        warm = lint_project(_sources(), _CONC, cache_dir=cache_dir)
+        assert [
+            (d.code, d.location, d.message) for d in cold.diagnostics
+        ] == [
+            (d.code, d.location, d.message) for d in warm.diagnostics
+        ]

@@ -1,0 +1,328 @@
+"""The project call graph: extraction, linking, fixed points, cache.
+
+These tests exercise :mod:`repro.lint.callgraph` directly — the
+CONC9xx rules that consume it are covered in ``test_rules_conc.py``.
+"""
+
+import textwrap
+
+from repro.lint import (
+    AnalysisCache,
+    SourceFile,
+    build_project,
+    extract_module,
+    module_name_for,
+)
+
+
+def _src(path, text):
+    return SourceFile(path=path, text=textwrap.dedent(text))
+
+
+def _project(*sources, cache=None):
+    return build_project(list(sources), cache=cache)
+
+
+class TestModuleNames:
+    def test_src_prefix_is_stripped(self):
+        assert module_name_for("src/repro/lint/engine.py") == (
+            "repro.lint.engine"
+        )
+
+    def test_last_src_component_wins(self):
+        assert module_name_for("src/vendor/src/pkg/mod.py") == "pkg.mod"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_plain_relative_path(self):
+        assert module_name_for("app/handlers.py") == "app.handlers"
+
+
+class TestExtraction:
+    def _functions(self, text):
+        mod = extract_module(_src("src/app/mod.py", text))
+        return {fn.qualname: fn for fn in mod.functions}
+
+    def test_defs_methods_and_nesting(self):
+        fns = self._functions(
+            """
+            def top():
+                def inner():
+                    pass
+                return inner
+
+
+            class Box:
+                def get(self):
+                    return 1
+            """
+        )
+        assert set(fns) == {
+            "app.mod.top", "app.mod.top.inner", "app.mod.Box.get",
+        }
+        assert fns["app.mod.top.inner"].nested
+        assert not fns["app.mod.top"].nested
+        assert not fns["app.mod.Box.get"].nested
+
+    def test_async_flag_and_blocking_sites(self):
+        fns = self._functions(
+            """
+            import time
+
+
+            async def serve():
+                pass
+
+
+            def pace():
+                time.sleep(0.5)
+            """
+        )
+        assert fns["app.mod.serve"].is_async
+        assert not fns["app.mod.pace"].is_async
+        reasons = [reason for _ln, reason in fns["app.mod.pace"].blocking]
+        assert reasons == ["time.sleep() blocks"]
+
+    def test_executor_shield_hides_argument_callables(self):
+        fns = self._functions(
+            """
+            import time
+
+
+            async def serve(loop):
+                await loop.run_in_executor(None, time.sleep, 1)
+            """
+        )
+        fn = fns["app.mod.serve"]
+        assert fn.blocking == []
+        # The dispatcher call itself is recorded, but the shielded
+        # callable argument (time.sleep) never becomes a call site.
+        assert all(ref[-1] != "sleep" for _ln, ref in fn.calls)
+
+    def test_pragma_lineno_covers_decorators(self):
+        fns = self._functions(
+            """
+            def deco(f):
+                return f
+
+
+            @deco
+            def task():
+                pass
+            """
+        )
+        fn = fns["app.mod.task"]
+        assert fn.pragma_lineno < fn.lineno
+
+    def test_summary_round_trips_through_json_doc(self):
+        mod = extract_module(
+            _src(
+                "src/app/mod.py",
+                """
+                import threading
+
+                _LOCK = threading.Lock()
+                _STATE = {}
+
+
+                def refresh():
+                    global _STATE
+                    with _LOCK:
+                        _STATE = {}
+                """,
+            )
+        )
+        from repro.lint import ModuleSummary
+
+        clone = ModuleSummary.from_doc(mod.to_doc())
+        assert clone.to_doc() == mod.to_doc()
+        assert [fn.qualname for fn in clone.functions] == [
+            "app.mod.refresh"
+        ]
+
+
+class TestLinking:
+    def test_cross_module_call_resolves_through_import(self):
+        project = _project(
+            _src(
+                "src/app/a.py",
+                """
+                from app import b
+
+
+                def caller():
+                    b.helper()
+                """,
+            ),
+            _src(
+                "src/app/b.py",
+                """
+                def helper():
+                    pass
+                """,
+            ),
+        )
+        assert ("app.a.caller", "app.b.helper") in {
+            (caller, callee) for caller, callee, _ln in project.call_edges
+        }
+
+    def test_bare_name_resolves_through_enclosing_scope(self):
+        project = _project(
+            _src(
+                "src/app/a.py",
+                """
+                def outer():
+                    def inner():
+                        pass
+                    inner()
+                """,
+            )
+        )
+        assert ("app.a.outer", "app.a.outer.inner") in {
+            (caller, callee) for caller, callee, _ln in project.call_edges
+        }
+
+    def test_registry_dict_values_become_task_entries(self):
+        project = _project(
+            _src(
+                "src/app/tasks.py",
+                """
+                from typing import Callable, Dict
+
+
+                def ping(payload):
+                    return payload
+
+
+                TASKS: Dict[str, Callable] = {"ping": ping}
+                """,
+            )
+        )
+        assert "app.tasks.ping" in project.entries
+
+
+class TestFixedPoints:
+    def test_blocking_propagates_transitively(self):
+        project = _project(
+            _src(
+                "src/app/a.py",
+                """
+                from app import b
+
+
+                def outer():
+                    b.middle()
+                """,
+            ),
+            _src(
+                "src/app/b.py",
+                """
+                import time
+
+
+                def middle():
+                    leaf()
+
+
+                def leaf():
+                    time.sleep(1)
+                """,
+            ),
+        )
+        assert project.blocking.get("app.a.outer")
+        assert project.blocking.get("app.b.middle")
+
+    def test_mutual_recursion_converges(self):
+        project = _project(
+            _src(
+                "src/app/a.py",
+                """
+                import time
+
+
+                def even(n):
+                    return odd(n - 1)
+
+
+                def odd(n):
+                    time.sleep(0)
+                    return even(n - 1)
+                """,
+            )
+        )
+        # Both members of the SCC see the blocking fact.
+        assert project.blocking.get("app.a.even")
+        assert project.blocking.get("app.a.odd")
+
+
+class TestIncrementalCache:
+    _A = """
+        from app import b
+
+
+        def caller():
+            b.helper()
+        """
+    _B = """
+        import time
+
+
+        def helper():
+            time.sleep(1)
+        """
+
+    def test_warm_run_parses_and_solves_nothing(self, tmp_path):
+        sources = [
+            _src("src/app/a.py", self._A),
+            _src("src/app/b.py", self._B),
+        ]
+        cold = _project(*sources, cache=AnalysisCache(str(tmp_path)))
+        assert cold.stats.files_parsed == 2
+        assert cold.stats.sccs_solved > 0
+
+        warm = _project(*sources, cache=AnalysisCache(str(tmp_path)))
+        assert warm.stats.files_parsed == 0
+        assert warm.stats.files_cached == 2
+        assert warm.stats.sccs_solved == 0
+        assert warm.stats.sccs_reused == cold.stats.sccs_solved
+        assert warm.blocking == cold.blocking
+        assert warm.call_edges == cold.call_edges
+
+    def test_edited_file_dirties_only_its_sccs(self, tmp_path):
+        sources = [
+            _src("src/app/a.py", self._A),
+            _src("src/app/b.py", self._B),
+        ]
+        _project(*sources, cache=AnalysisCache(str(tmp_path)))
+
+        edited = [
+            _src("src/app/a.py", self._A + "\n        X = 1\n"),
+            _src("src/app/b.py", self._B),
+        ]
+        rerun = _project(*edited, cache=AnalysisCache(str(tmp_path)))
+        assert rerun.stats.files_parsed == 1
+        assert rerun.stats.files_cached == 1
+        # b.py's facts did not change, so its components stay cached.
+        assert rerun.stats.sccs_reused > 0
+        assert rerun.blocking.get("app.a.caller")
+
+    def test_corrupt_cache_file_degrades_to_cold_run(self, tmp_path):
+        from repro.lint.anacache import CACHE_FILENAME
+
+        (tmp_path / CACHE_FILENAME).write_text("{not json")
+        project = _project(
+            _src("src/app/b.py", self._B),
+            cache=AnalysisCache(str(tmp_path)),
+        )
+        assert project.stats.files_parsed == 1
+
+    def test_syntax_error_file_is_skipped_not_fatal(self):
+        project = _project(
+            _src("src/app/bad.py", "def broken(:\n"),
+            _src("src/app/b.py", self._B),
+        )
+        assert "app.b.helper" in project.functions
+        assert "src/app/bad.py" not in {
+            fn.path for fn in project.functions.values()
+        }

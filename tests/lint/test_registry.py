@@ -13,10 +13,12 @@ from repro.lint import (
 )
 
 CODE_PATTERN = re.compile(
-    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6|DF7|SRC8)\d\d$"
+    r"^(DDG1|MACH2|ASSIGN3|SCHED4|REG5|CERT6|DF7|SRC8|CONC9)\d\d$"
 )
 
-KNOWN_ARTIFACTS = {"graph", "machine", "annotated", "schedule", "source"}
+KNOWN_ARTIFACTS = {
+    "graph", "machine", "annotated", "schedule", "source", "project",
+}
 
 
 class TestRegistry:
@@ -36,7 +38,7 @@ class TestRegistry:
     def test_rule_count_is_stable(self):
         # Adding a rule is fine -- bump this count alongside the
         # docs/LINTING.md catalog so they cannot drift apart.
-        assert len(all_rules()) == 54
+        assert len(all_rules()) == 59
 
     def test_family_property_matches_prefix(self):
         for rule in all_rules():

@@ -1,0 +1,460 @@
+"""Seeded defects for the CONC9xx interprocedural concurrency family.
+
+One seeded-defect test per rule, each built from small multi-file
+projects the intraprocedural SRC8xx family cannot judge — plus the
+acceptance contract that the real ``src/`` tree self-analyzes clean.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import (
+    LintConfig,
+    SourceFile,
+    collect_source_files,
+    lint_project,
+    lint_source_file,
+)
+
+_SRC_ROOT = str(Path(__file__).resolve().parents[2] / "src")
+
+_CONC = LintConfig(select=frozenset({"CONC9"}))
+
+
+def _src(path, text):
+    return SourceFile(path=path, text=textwrap.dedent(text))
+
+
+def _lint(*sources, config=_CONC):
+    return lint_project(list(sources), config)
+
+
+def _codes(report):
+    return sorted(d.code for d in report.diagnostics)
+
+
+class TestTransitiveBlocking:
+    # The case SRC804 provably misses: the coroutine itself contains no
+    # blocking call — time.sleep hides one sync hop away, in another
+    # file.
+    _HANDLER = """
+        from app import helper
+
+
+        async def handle(request):
+            return helper.slow(request)
+        """
+    _HELPER = """
+        import time
+
+
+        def slow(request):
+            time.sleep(2)
+            return request
+        """
+
+    def test_src804_misses_the_cross_module_case(self):
+        report = lint_source_file(
+            _src("src/app/handler.py", self._HANDLER),
+            LintConfig(select=frozenset({"SRC8"})),
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_conc901_catches_it(self):
+        report = _lint(
+            _src("src/app/handler.py", self._HANDLER),
+            _src("src/app/helper.py", self._HELPER),
+        )
+        assert _codes(report) == ["CONC901"]
+        [diag] = report.errors
+        assert "app.helper.slow" in diag.message
+        assert "time.sleep" in diag.message
+        assert diag.location.startswith("src/app/handler.py:")
+
+    def test_await_of_async_chain_passes(self):
+        report = _lint(
+            _src(
+                "src/app/handler.py",
+                """
+                from app import helper
+
+
+                async def handle(request):
+                    return await helper.slow(request)
+                """,
+            ),
+            _src(
+                "src/app/helper.py",
+                """
+                import asyncio
+
+
+                async def slow(request):
+                    await asyncio.sleep(2)
+                    return request
+                """,
+            ),
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_pragma_above_decorator_covers_the_def(self):
+        report = _lint(
+            _src(
+                "src/app/handler.py",
+                """
+                import functools
+
+                from app import helper
+
+
+                def traced(f):
+                    @functools.wraps(f)
+                    def wrap(*a, **k):
+                        return f(*a, **k)
+                    return wrap
+
+
+                # lint: allow CONC901
+                @traced
+                async def handle(request):
+                    return helper.slow(request)
+                """,
+            ),
+            _src("src/app/helper.py", self._HELPER),
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_pragma_at_call_site_suppresses(self):
+        report = _lint(
+            _src(
+                "src/app/handler.py",
+                """
+                from app import helper
+
+
+                async def handle(request):
+                    # lint: allow CONC901
+                    return helper.slow(request)
+                """,
+            ),
+            _src("src/app/helper.py", self._HELPER),
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestWorkerGlobalEscape:
+    _TASKS = """
+        from app import state
+
+
+        def ping(payload):
+            state.bump()
+            return payload
+
+
+        TASKS = {"ping": ping}
+        """
+    _STATE = """
+        _COUNT = 0
+
+
+        def bump():
+            global _COUNT
+            _COUNT = _COUNT + 1
+        """
+
+    def test_global_write_reachable_from_entry_fires(self):
+        report = _lint(
+            _src("src/app/tasks.py", self._TASKS),
+            _src("src/app/state.py", self._STATE),
+        )
+        assert _codes(report) == ["CONC902"]
+        [diag] = report.diagnostics
+        assert diag.severity == "warning"
+        assert "_COUNT" in diag.message
+        assert "app.tasks.ping" in diag.message
+
+    def test_unreachable_global_write_passes(self):
+        # Same write, but nothing registers a task entry — parent-side
+        # module state is SRC801's (intraprocedural) business, not ours.
+        report = _lint(_src("src/app/state.py", self._STATE))
+        assert report.ok and not report.diagnostics
+
+    def test_function_level_pragma_suppresses(self):
+        report = _lint(
+            _src("src/app/tasks.py", self._TASKS),
+            _src(
+                "src/app/state.py",
+                """
+                _COUNT = 0
+
+
+                # lint: allow CONC902
+                def bump():
+                    global _COUNT
+                    _COUNT = _COUNT + 1
+                """,
+            ),
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestTransitiveUnpicklablePayload:
+    def test_payload_calling_lambda_factory_fires(self):
+        report = _lint(
+            _src(
+                "src/app/dispatch.py",
+                """
+                from app import factory
+
+
+                def schedule(pool):
+                    pool.submit("task", factory.make_filter())
+                """,
+            ),
+            _src(
+                "src/app/factory.py",
+                """
+                def make_filter():
+                    return lambda x: x > 0
+                """,
+            ),
+        )
+        assert _codes(report) == ["CONC903"]
+        [diag] = report.errors
+        assert "app.factory.make_filter" in diag.message
+        assert "lambda" in diag.message
+
+    def test_payload_naming_nested_function_fires(self):
+        report = _lint(
+            _src(
+                "src/app/dispatch.py",
+                """
+                def schedule(pool, n):
+                    def scaled(x):
+                        return x * n
+                    pool.submit("task", scaled)
+                """,
+            )
+        )
+        assert _codes(report) == ["CONC903"]
+        assert "nested function" in report.errors[0].message
+
+    def test_factory_returning_plain_data_passes(self):
+        report = _lint(
+            _src(
+                "src/app/dispatch.py",
+                """
+                from app import factory
+
+
+                def schedule(pool):
+                    pool.submit("task", factory.make_config())
+                """,
+            ),
+            _src(
+                "src/app/factory.py",
+                """
+                def make_config():
+                    return {"width": 4}
+                """,
+            ),
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestLockReleaseDiscipline:
+    def test_release_outside_finally_fires(self):
+        report = _lint(
+            _src(
+                "src/app/locks.py",
+                """
+                import threading
+
+                _lock = threading.Lock()
+
+
+                def update(value):
+                    _lock.acquire()
+                    do_write(value)
+                    _lock.release()
+
+
+                def do_write(value):
+                    pass
+                """,
+            )
+        )
+        assert _codes(report) == ["CONC904"]
+        assert "exception leaks the lock" in report.errors[0].message
+
+    def test_release_in_finally_passes(self):
+        report = _lint(
+            _src(
+                "src/app/locks.py",
+                """
+                import threading
+
+                _lock = threading.Lock()
+
+
+                def update(value):
+                    _lock.acquire()
+                    try:
+                        do_write(value)
+                    finally:
+                        _lock.release()
+
+
+                def do_write(value):
+                    pass
+                """,
+            )
+        )
+        assert report.ok and not report.diagnostics
+
+    def test_with_statement_passes(self):
+        report = _lint(
+            _src(
+                "src/app/locks.py",
+                """
+                import threading
+
+                _lock = threading.Lock()
+
+
+                def update(value):
+                    with _lock:
+                        pass
+                """,
+            )
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestLockOrderInversion:
+    def test_direct_abba_nesting_fires_both_witnesses(self):
+        report = _lint(
+            _src(
+                "src/app/locks.py",
+                """
+                import threading
+
+                a_lock = threading.Lock()
+                b_lock = threading.Lock()
+
+
+                def forward():
+                    with a_lock:
+                        with b_lock:
+                            pass
+
+
+                def backward():
+                    with b_lock:
+                        with a_lock:
+                            pass
+                """,
+            )
+        )
+        assert _codes(report) == ["CONC905", "CONC905"]
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "ABBA" in messages
+
+    def test_inversion_via_cross_module_call_fires(self):
+        report = _lint(
+            _src(
+                "src/app/a.py",
+                """
+                import threading
+
+                from app import b
+
+                a_lock = threading.Lock()
+
+
+                def forward():
+                    with a_lock:
+                        b.take_b_then_a()
+                """,
+            ),
+            _src(
+                "src/app/b.py",
+                """
+                import threading
+
+                from app import a
+
+                b_lock = threading.Lock()
+
+
+                def take_b_then_a():
+                    with b_lock:
+                        with a.a_lock:
+                            pass
+                """,
+            ),
+        )
+        assert "CONC905" in _codes(report)
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "via call to" in messages
+
+    def test_consistent_order_everywhere_passes(self):
+        report = _lint(
+            _src(
+                "src/app/locks.py",
+                """
+                import threading
+
+                a_lock = threading.Lock()
+                b_lock = threading.Lock()
+
+
+                def one():
+                    with a_lock:
+                        with b_lock:
+                            pass
+
+
+                def two():
+                    with a_lock:
+                        with b_lock:
+                            pass
+                """,
+            )
+        )
+        assert report.ok and not report.diagnostics
+
+
+class TestSeverityPlumbing:
+    def test_severity_override_applies_to_conc_rules(self):
+        report = _lint(
+            _src(
+                "src/app/tasks.py",
+                TestWorkerGlobalEscape._TASKS,
+            ),
+            _src(
+                "src/app/state.py",
+                TestWorkerGlobalEscape._STATE,
+            ),
+            config=LintConfig(
+                select=frozenset({"CONC9"}),
+                severity={"CONC902": "error"},
+            ),
+        )
+        assert not report.ok
+        assert report.errors[0].code == "CONC902"
+
+
+class TestSelfAnalysis:
+    def test_repro_sources_are_conc_clean(self):
+        # The acceptance criterion: after triage (pragmas + baseline),
+        # the interprocedural family passes on its own codebase.
+        sources = list(collect_source_files([_SRC_ROOT]))
+        assert len(sources) > 50
+        report = lint_project(sources, _CONC)
+        assert report.ok, [
+            f"{d.location} {d.code} {d.message}"
+            for d in report.errors
+        ]
+        assert report.rules_run > 0

@@ -247,6 +247,105 @@ class TestBlockingInAsync:
         assert report.ok and not report.diagnostics
 
 
+class TestPragmaMatching:
+    _REBIND = """
+        _MODE = "idle"
+
+
+        def set_mode(mode):
+            global _MODE
+            {pragma}
+            _MODE = mode
+        """
+
+    def _with_pragma(self, pragma):
+        return _lint_text(self._REBIND.format(pragma=pragma))
+
+    def test_multi_code_pragma_silences_each_listed_code(self):
+        report = self._with_pragma("# lint: allow SRC801, CONC902")
+        assert report.ok and not report.diagnostics
+        report = self._with_pragma("# lint: allow CONC902 SRC801")
+        assert report.ok and not report.diagnostics
+
+    def test_near_miss_code_does_not_silence(self):
+        # SRC8014 is not SRC801: tokens compare exactly, never by
+        # substring (the bug this pins down).
+        report = self._with_pragma("# lint: allow SRC8014")
+        assert _codes(report) == ["SRC801"]
+
+    def test_prefix_of_flagged_code_does_not_silence(self):
+        report = self._with_pragma("# lint: allow SRC80")
+        assert _codes(report) == ["SRC801"]
+
+    def test_unrelated_code_does_not_silence(self):
+        report = self._with_pragma("# lint: allow SRC802")
+        assert _codes(report) == ["SRC801"]
+
+    def test_suppressed_api_directly(self):
+        source = SourceFile(
+            path="m.py",
+            text="# lint: allow SRC801,SRC802\nx = 1\n",
+        )
+        assert source.suppressed(2, "SRC801")
+        assert source.suppressed(2, "SRC802")
+        assert not source.suppressed(2, "SRC80")
+        assert not source.suppressed(2, "SRC8012")
+
+
+class TestPragmaAboveDecorator:
+    def test_pragma_above_decorator_covers_the_def(self):
+        # The pragma sits above the *decorator*, two lines from the
+        # ``async def`` the finding anchors to — function-level
+        # coverage must look at the decorated definition's first line.
+        text = """
+            import functools
+            import time
+
+
+            def traced(f):
+                @functools.wraps(f)
+                def wrap(*a, **k):
+                    return f(*a, **k)
+                return wrap
+
+
+            # lint: allow SRC804
+            @traced
+            async def serve():
+                time.sleep(0.1)
+            """
+        report = _lint_text(text)
+        assert report.ok and not report.diagnostics
+
+
+class TestSourceCollection:
+    def _tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("X = 1\n")
+        for junk in (
+            ".git", ".venv", "venv", "build", "dist",
+            "pkg.egg-info", "__pycache__", ".hidden",
+        ):
+            (tmp_path / junk).mkdir()
+            (tmp_path / junk / "junk.py").write_text("Y = 2\n")
+        return tmp_path
+
+    def test_junk_and_hidden_directories_are_skipped(self, tmp_path):
+        from repro.lint import collect_source_files
+
+        sources = collect_source_files([str(self._tree(tmp_path))])
+        assert [s.path.rsplit("/", 1)[-1] for s in sources] == ["mod.py"]
+        assert all("pkg/mod.py" in s.path.replace("\\", "/") for s in sources)
+
+    def test_explicit_file_path_is_always_taken(self, tmp_path):
+        from repro.lint import collect_source_files
+
+        tree = self._tree(tmp_path)
+        explicit = str(tree / "build" / "junk.py")
+        sources = collect_source_files([explicit])
+        assert len(sources) == 1
+
+
 class TestSyntaxErrorContainment:
     def test_unparsable_file_is_a_rule_crash_not_an_exception(self):
         report = lint_source_file(
